@@ -1,0 +1,53 @@
+// Command carolbench regenerates the tables and figures of the CAROL paper
+// (ICPP 2024) evaluation on synthetic stand-in datasets.
+//
+// Usage:
+//
+//	carolbench                      # run everything at quick scale
+//	carolbench -experiment table5   # one artifact
+//	carolbench -scale paper         # larger fields, 35-point sweeps
+//	carolbench -list                # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"carol/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "experiment id (default: all); see -list")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	if *exp == "" {
+		err = experiments.RunAll(os.Stdout, scale)
+	} else {
+		var r experiments.Runner
+		r, err = experiments.Find(*exp)
+		if err == nil {
+			err = r.Run(os.Stdout, scale)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carolbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}

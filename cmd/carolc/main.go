@@ -1,0 +1,188 @@
+// Command carolc is a command-line lossy compressor for raw float32
+// scientific data, exposing both classic error-bounded compression and
+// CAROL's fixed-ratio mode.
+//
+// Compress with an explicit relative error bound:
+//
+//	carolc -compressor sz3 -dims 256x256x256 -eb 1e-3 -in data.f32 -out data.sz3c
+//
+// Compress to a target ratio (trains a small CAROL model on the input's own
+// statistics first — self-training mode):
+//
+//	carolc -compressor sperr -dims 256x256x256 -ratio 100 -in data.f32 -out data.szc
+//
+// Decompress:
+//
+//	carolc -d -compressor sz3 -in data.sz3c -out restored.f32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"carol"
+	"carol/internal/trainset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "carolc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	comp := flag.String("compressor", "sz3", "compressor: szx, zfp, sz3, sperr, szp")
+	dims := flag.String("dims", "", "grid dims NXxNYxNZ (compression only)")
+	eb := flag.Float64("eb", 0, "value-range-relative error bound")
+	ratio := flag.Float64("ratio", 0, "target compression ratio (fixed-ratio mode)")
+	in := flag.String("in", "", "input file (raw little-endian float32, or compressed stream with -d/-verify)")
+	out := flag.String("out", "", "output file")
+	decompress := flag.Bool("d", false, "decompress instead of compress")
+	verify := flag.String("verify", "", "original raw file: decompress -in and print a quality report against it")
+	flag.Parse()
+
+	if *verify != "" {
+		return doVerify(*comp, *in, *verify, *dims)
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("need -in and -out")
+	}
+	if *decompress {
+		return doDecompress(*comp, *in, *out)
+	}
+	nx, ny, nz, err := parseDims(*dims)
+	if err != nil {
+		return err
+	}
+	inF, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer inF.Close()
+	f, err := carol.ReadRawField(*in, nx, ny, nz, inF)
+	if err != nil {
+		return err
+	}
+
+	var stream []byte
+	switch {
+	case *ratio > 0:
+		stream, err = compressToRatio(*comp, f, *ratio)
+	case *eb > 0:
+		stream, err = carol.Compress(*comp, f, *eb)
+	default:
+		return fmt.Errorf("need -eb or -ratio")
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, stream, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes (ratio %.2f)\n",
+		*comp, f.SizeBytes(), len(stream), carol.Ratio(f, stream))
+	return nil
+}
+
+// compressToRatio self-trains a small CAROL model on the input field and
+// compresses to the requested ratio.
+func compressToRatio(comp string, f *carol.Field, target float64) ([]byte, error) {
+	fw, err := carol.New(comp, carol.Config{
+		ErrorBounds:  trainset.GeometricBounds(1e-4, 1e-1, 12),
+		BOIterations: 6,
+		ForestCap:    30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Collect([]*carol.Field{f}); err != nil {
+		return nil, err
+	}
+	if _, err := fw.Train(); err != nil {
+		return nil, err
+	}
+	stream, achieved, err := fw.CompressToRatio(f, target)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("requested ratio %.1f, achieved %.2f\n", target, achieved)
+	return stream, nil
+}
+
+func doDecompress(comp, in, out string) error {
+	stream, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	f, err := carol.Decompress(comp, stream)
+	if err != nil {
+		return err
+	}
+	outF, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer outF.Close()
+	if err := f.WriteRaw(outF); err != nil {
+		return err
+	}
+	fmt.Printf("restored %dx%dx%d field (%d bytes)\n", f.Nx, f.Ny, f.Nz, f.SizeBytes())
+	return outF.Close()
+}
+
+// doVerify decompresses `in` and reports reconstruction quality against the
+// original raw file.
+func doVerify(comp, in, origPath, dims string) error {
+	if in == "" {
+		return fmt.Errorf("need -in (compressed stream)")
+	}
+	nx, ny, nz, err := parseDims(dims)
+	if err != nil {
+		return err
+	}
+	stream, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	recon, err := carol.Decompress(comp, stream)
+	if err != nil {
+		return err
+	}
+	origF, err := os.Open(origPath)
+	if err != nil {
+		return err
+	}
+	defer origF.Close()
+	orig, err := carol.ReadRawField(origPath, nx, ny, nz, origF)
+	if err != nil {
+		return err
+	}
+	report, err := carol.AnalyzeQuality(orig, recon, 0)
+	if err != nil {
+		return err
+	}
+	return report.WriteText(os.Stdout)
+}
+
+func parseDims(s string) (nx, ny, nz int, err error) {
+	if s == "" {
+		return 0, 0, 0, fmt.Errorf("need -dims NXxNYxNZ")
+	}
+	parts := strings.Split(strings.ToLower(s), "x")
+	vals := []int{1, 1, 1}
+	if len(parts) < 1 || len(parts) > 3 {
+		return 0, 0, 0, fmt.Errorf("bad -dims %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("bad -dims %q", s)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
+}

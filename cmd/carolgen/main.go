@@ -1,0 +1,79 @@
+// Command carolgen writes synthetic scientific dataset fields as raw
+// little-endian float32 binaries — the stand-ins for SDRBench/Klacansky
+// dumps used throughout this repository.
+//
+//	carolgen -dataset miranda -field viscosity -dims 128x128x128 -out visc.f32
+//	carolgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"carol/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "carolgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ds := flag.String("dataset", "", "dataset name (see -list)")
+	fieldName := flag.String("field", "", "field name (see -list)")
+	dims := flag.String("dims", "", "override grid dims NXxNYxNZ")
+	step := flag.Int("step", 0, "time step (time-evolving datasets)")
+	out := flag.String("out", "", "output file")
+	list := flag.Bool("list", false, "list datasets and fields")
+	flag.Parse()
+
+	if *list {
+		for _, spec := range dataset.Summary() {
+			fmt.Printf("%-10s %-24s steps=%-3d default=%dx%dx%d fields=%s\n",
+				spec.Name, spec.Domain, spec.TimeSteps, spec.Nx, spec.Ny, spec.Nz,
+				strings.Join(spec.Fields, ","))
+		}
+		return nil
+	}
+	if *ds == "" || *fieldName == "" || *out == "" {
+		return fmt.Errorf("need -dataset, -field and -out (or -list)")
+	}
+	opts := dataset.Options{TimeStep: *step}
+	if *dims != "" {
+		parts := strings.Split(strings.ToLower(*dims), "x")
+		vals := []int{0, 0, 0}
+		for i, p := range parts {
+			if i >= 3 {
+				return fmt.Errorf("bad -dims %q", *dims)
+			}
+			v, err := strconv.Atoi(p)
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad -dims %q", *dims)
+			}
+			vals[i] = v
+		}
+		opts.Nx, opts.Ny, opts.Nz = vals[0], vals[1], vals[2]
+	}
+	f, err := dataset.Generate(*ds, *fieldName, opts)
+	if err != nil {
+		return err
+	}
+	outF, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer outF.Close()
+	if err := f.WriteRaw(outF); err != nil {
+		return err
+	}
+	if err := outF.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s %dx%dx%d (%d bytes)\n", *out, f.Name, f.Nx, f.Ny, f.Nz, f.SizeBytes())
+	return nil
+}

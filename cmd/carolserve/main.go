@@ -1,0 +1,210 @@
+// Command carolserve exposes the compressors and estimators as a small
+// HTTP service — the "large software pipelines" integration of the paper's
+// use case 3, where other components need compression with predictable
+// output sizes over a wire protocol.
+//
+//	carolserve -addr :8080
+//
+// Endpoints (raw little-endian float32 bodies):
+//
+//	POST /v1/compress?codec=sz3&rel=1e-3&dims=128x128x64   -> stream
+//	POST /v1/compress?codec=sz3&ratio=100&dims=128x128x64  -> stream (FRaZ search)
+//	POST /v1/decompress?codec=sz3                          -> raw float32
+//	POST /v1/estimate?codec=sperr&rel=1e-3&dims=...        -> JSON ratio estimate
+//	GET  /v1/codecs                                        -> JSON codec list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"carol"
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/fraz"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	log.Printf("carolserve listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer()))
+}
+
+// maxBody caps request bodies (512 MiB of float32 samples).
+const maxBody = 512 << 20
+
+// newServer builds the HTTP handler (separated from main for testing).
+func newServer() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/codecs", handleCodecs)
+	mux.HandleFunc("/v1/compress", handleCompress)
+	mux.HandleFunc("/v1/decompress", handleDecompress)
+	mux.HandleFunc("/v1/estimate", handleEstimate)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func handleCodecs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(carol.ExtendedCompressors()); err != nil {
+		log.Printf("codecs encode: %v", err)
+	}
+}
+
+// parseDims parses NXxNYxNZ.
+func parseDims(s string) (nx, ny, nz int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	vals := []int{1, 1, 1}
+	if s == "" || len(parts) > 3 {
+		return 0, 0, 0, fmt.Errorf("bad dims %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("bad dims %q", s)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+// readFieldBody reads a raw float32 body with the dims query parameter.
+func readFieldBody(r *http.Request) (*field.Field, error) {
+	nx, ny, nz, err := parseDims(r.URL.Query().Get("dims"))
+	if err != nil {
+		return nil, err
+	}
+	// Per-dimension caps keep the product free of int64 overflow before the
+	// total-size check.
+	const maxDim = 1 << 20
+	if nx > maxDim || ny > maxDim || nz > maxDim || int64(nx)*int64(ny)*int64(nz)*4 > maxBody {
+		return nil, fmt.Errorf("field too large")
+	}
+	return field.ReadRaw("http", nx, ny, nz, io.LimitReader(r.Body, maxBody))
+}
+
+func handleCompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q := r.URL.Query()
+	codecName := q.Get("codec")
+	codec, err := codecs.ByName(codecName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	f, err := readFieldBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var stream []byte
+	switch {
+	case q.Get("ratio") != "":
+		target, err := strconv.ParseFloat(q.Get("ratio"), 64)
+		if err != nil || target <= 0 {
+			httpError(w, http.StatusBadRequest, "bad ratio")
+			return
+		}
+		res, err := fraz.Search(codec, f, target, fraz.Options{})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		stream = res.Stream
+		w.Header().Set("X-Carol-Achieved-Ratio", strconv.FormatFloat(res.Achieved, 'g', 6, 64))
+		w.Header().Set("X-Carol-Compressor-Runs", strconv.Itoa(res.Runs))
+	case q.Get("rel") != "":
+		rel, err := strconv.ParseFloat(q.Get("rel"), 64)
+		if err != nil || rel <= 0 {
+			httpError(w, http.StatusBadRequest, "bad rel")
+			return
+		}
+		stream, err = codec.Compress(f, compressor.AbsBound(f, rel))
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("X-Carol-Achieved-Ratio",
+			strconv.FormatFloat(compressor.Ratio(f, stream), 'g', 6, 64))
+	default:
+		httpError(w, http.StatusBadRequest, "need rel= or ratio=")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(stream); err != nil {
+		log.Printf("compress write: %v", err)
+	}
+}
+
+func handleDecompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	codec, err := codecs.ByName(r.URL.Query().Get("codec"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stream, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	f, err := codec.Decompress(stream)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Carol-Dims", fmt.Sprintf("%dx%dx%d", f.Nx, f.Ny, f.Nz))
+	if err := f.WriteRaw(w); err != nil {
+		log.Printf("decompress write: %v", err)
+	}
+}
+
+func handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q := r.URL.Query()
+	sur, err := codecs.SurrogateByName(q.Get("codec"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rel, err := strconv.ParseFloat(q.Get("rel"), 64)
+	if err != nil || rel <= 0 {
+		httpError(w, http.StatusBadRequest, "bad rel")
+		return
+	}
+	f, err := readFieldBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ratio, err := sur.EstimateRatio(f, compressor.AbsBound(f, rel))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(map[string]float64{"estimated_ratio": ratio}); err != nil {
+		log.Printf("estimate encode: %v", err)
+	}
+}

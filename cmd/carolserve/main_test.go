@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"carol/internal/dataset"
+	"carol/internal/field"
+)
+
+func testBody(t *testing.T) (*field.Field, *bytes.Buffer) {
+	t.Helper()
+	f, err := dataset.Generate("miranda", "density", dataset.Options{Nx: 24, Ny: 24, Nz: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteRaw(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return f, &buf
+}
+
+func TestCodecsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/codecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Fatalf("codecs = %v", names)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	f, body := testBody(t)
+
+	resp, err := http.Post(srv.URL+"/v1/compress?codec=sz3&rel=1e-3&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: status %d, %v", resp.StatusCode, err)
+	}
+	achieved, err := strconv.ParseFloat(resp.Header.Get("X-Carol-Achieved-Ratio"), 64)
+	if err != nil || achieved <= 1 {
+		t.Fatalf("achieved header %q", resp.Header.Get("X-Carol-Achieved-Ratio"))
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/decompress?codec=sz3",
+		"application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status %d", resp.StatusCode)
+	}
+	if dims := resp.Header.Get("X-Carol-Dims"); dims != "24x24x8" {
+		t.Fatalf("dims header %q", dims)
+	}
+	g, err := field.ReadRaw("resp", 24, 24, 8, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := 1e-3 * f.ValueRange()
+	if err := f.Equalish(g, eb*1.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressFixedRatioEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	_, body := testBody(t)
+	resp, err := http.Post(srv.URL+"/v1/compress?codec=szx&ratio=3&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	runs, err := strconv.Atoi(resp.Header.Get("X-Carol-Compressor-Runs"))
+	if err != nil || runs < 1 {
+		t.Fatalf("runs header %q", resp.Header.Get("X-Carol-Compressor-Runs"))
+	}
+	achieved, err := strconv.ParseFloat(resp.Header.Get("X-Carol-Achieved-Ratio"), 64)
+	if err != nil || achieved < 1.5 || achieved > 6 {
+		t.Fatalf("achieved %v for target 3", achieved)
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	_, body := testBody(t)
+	resp, err := http.Post(srv.URL+"/v1/estimate?codec=sperr&rel=1e-2&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["estimated_ratio"] <= 1 {
+		t.Fatalf("estimate %v", out)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	_, body := testBody(t)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/v1/compress?codec=nope&rel=1e-3&dims=24x24x8", http.StatusBadRequest},
+		{"/v1/compress?codec=szx&dims=24x24x8", http.StatusBadRequest},        // no rel/ratio
+		{"/v1/compress?codec=szx&rel=-1&dims=24x24x8", http.StatusBadRequest}, // bad rel
+		{"/v1/compress?codec=szx&rel=1e-3&dims=0x2", http.StatusBadRequest},   // bad dims
+		{"/v1/estimate?codec=szx&rel=1e-3&dims=9999999x9999999x9999999", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+c.url, "application/octet-stream", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.url, resp.StatusCode, c.want)
+		}
+	}
+	// GET on a POST endpoint.
+	resp, err := http.Get(srv.URL + "/v1/compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET compress: status %d", resp.StatusCode)
+	}
+	// Garbage stream to decompress.
+	resp, err = http.Post(srv.URL+"/v1/decompress?codec=szx",
+		"application/octet-stream", bytes.NewReader([]byte("garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("garbage decompress: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,114 @@
+// Pipeline: an end-to-end in-situ workflow — a time-evolving simulation
+// emits snapshots, each snapshot must fit a fixed per-step storage budget,
+// the fixed-ratio model refines itself from its own outcomes (feedback),
+// and every step lands in one snapshot archive on disk.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"carol"
+	"carol/internal/archive"
+	"carol/internal/dataset"
+)
+
+const (
+	compressorName = "zfp"
+	steps          = 6
+	// Budget: each snapshot (3 fields) must compress below this fraction.
+	budgetFraction = 0.25
+)
+
+func main() {
+	// The model trains once on the first snapshot and then rides along,
+	// feeding back what each step actually achieved.
+	fw, err := carol.New(compressorName, carol.Config{
+		Feedback:      true,
+		FeedbackEvery: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fieldNames := []string{"P", "TC", "QVAPOR"}
+	opts := dataset.Options{Nx: 40, Ny: 40, Nz: 16}
+
+	snapshot := func(step int) []*carol.Field {
+		var out []*carol.Field
+		for _, fn := range fieldNames {
+			o := opts
+			o.TimeStep = step
+			f, err := dataset.Generate("hurricane", fn, o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f.Name = fmt.Sprintf("%s@%02d", fn, step)
+			out = append(out, f)
+		}
+		return out
+	}
+
+	first := snapshot(0)
+	if _, err := fw.Collect(first); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fw.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	w := archive.NewWriter()
+	var rawTotal, packedTotal int
+	for step := 0; step < steps; step++ {
+		fields := snapshot(step * 6)
+		var rawBytes int
+		for _, f := range fields {
+			rawBytes += f.SizeBytes()
+		}
+		budget := int(float64(rawBytes) * budgetFraction)
+		target := float64(rawBytes) / float64(budget) * 1.05
+
+		var stepBytes int
+		for _, f := range fields {
+			stream, achieved, err := fw.CompressToRatio(f, target)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := w.AddRaw(archive.Entry{Name: f.Name, Codec: compressorName, Stream: stream}); err != nil {
+				log.Fatal(err)
+			}
+			stepBytes += len(stream)
+			_ = achieved
+		}
+		status := "OK"
+		if stepBytes > budget {
+			status = "OVER"
+		}
+		fmt.Printf("step %2d: %6d bytes of %6d budget  [%s]\n", step*6, stepBytes, budget, status)
+		rawTotal += rawBytes
+		packedTotal += stepBytes
+	}
+
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\narchive: %d entries, %d bytes (overall ratio %.1f)\n",
+		w.Len(), buf.Len(), float64(rawTotal)/float64(buf.Len()))
+
+	// Prove the archive round-trips.
+	a, err := archive.Read(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := fieldNames[0] + "@00"
+	f, err := a.Field(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig := snapshot(0)[0]
+	fmt.Printf("restored %s: PSNR %.1f dB, Pearson %.4f\n",
+		probe, carol.PSNR(orig, f), carol.Pearson(orig, f))
+}

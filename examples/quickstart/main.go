@@ -1,0 +1,66 @@
+// Quickstart: train a CAROL framework on a few representative fields and
+// compress new data to a requested compression ratio.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carol"
+	"carol/internal/dataset"
+)
+
+func main() {
+	// 1. Create a framework for one of the built-in compressors.
+	fw, err := carol.New("sz3", carol.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Collect training data from representative fields. Here we use the
+	// built-in synthetic Miranda turbulence generator; real applications
+	// load raw dumps with carol.ReadRawField.
+	opts := dataset.Options{Nx: 48, Ny: 48, Nz: 48}
+	var training []*carol.Field
+	for _, name := range []string{"density", "pressure", "viscosity"} {
+		f, err := dataset.Generate("miranda", name, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		training = append(training, f)
+	}
+	cs, err := fw.Collect(training)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d samples in %v (%d full-compressor calibration runs, %d surrogate runs)\n",
+		cs.Samples, cs.Duration.Round(1e6), cs.FullCompressorRuns, cs.SurrogateRuns)
+
+	// 3. Train the ratio->error-bound model with Bayesian optimization.
+	ts, err := fw.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %v (%d BO evaluations, best forest: %d trees, depth %d)\n",
+		ts.Duration.Round(1e6), ts.Evaluated, ts.BestConfig.NEstimators, ts.BestConfig.MaxDepth)
+
+	// 4. Compress a new field to a fixed ratio.
+	test, err := dataset.Generate("miranda", "velocityx", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, target := range []float64{20, 50, 100} {
+		stream, achieved, err := fw.CompressToRatio(test, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon, err := carol.Decompress("sz3", stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("requested %5.0f:1  achieved %6.1f:1  (%d bytes, PSNR %.1f dB)\n",
+			target, achieved, len(stream), carol.PSNR(test, recon))
+	}
+}

@@ -1,0 +1,89 @@
+// Storage budget (use case 1 of the paper): a simulation snapshot with many
+// fields must fit into a fixed storage quota shared on a supercomputer.
+// Fixed-ratio compression makes the output size predictable: we derive the
+// required per-field ratio from the quota, ask CAROL for it, and verify the
+// snapshot lands under budget while error-bounded mode alone could not have
+// told us the size in advance.
+//
+//	go run ./examples/storagebudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carol"
+	"carol/internal/dataset"
+)
+
+func main() {
+	const compressorName = "sperr"
+
+	// The snapshot: all seven Miranda fields.
+	opts := dataset.Options{Nx: 48, Ny: 48, Nz: 48}
+	fields, err := dataset.GenerateAll("miranda", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rawBytes int
+	for _, f := range fields {
+		rawBytes += f.SizeBytes()
+	}
+	// Quota: 2% of the raw snapshot size.
+	budget := rawBytes / 50
+	targetRatio := float64(rawBytes) / float64(budget)
+	fmt.Printf("snapshot: %d fields, %.1f MiB raw; quota %.2f MiB -> need %.0f:1\n",
+		len(fields), mib(rawBytes), mib(budget), targetRatio)
+
+	// Train on the snapshot's own fields (they are the best predictor of
+	// their own compressibility).
+	fw, err := carol.New(compressorName, carol.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fw.Collect(fields); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fw.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compress every field to the target ratio, retrying with a stiffer
+	// request when the prediction lands a field over its share. This
+	// ask-check-adjust loop is exactly what fixed-ratio prediction enables:
+	// one cheap retry instead of a blind error-bound search.
+	perField := budget / len(fields)
+	var total int
+	for _, f := range fields {
+		request := targetRatio * 1.05 // small safety margin up front
+		var stream []byte
+		var achieved float64
+		for attempt := 0; attempt < 3; attempt++ {
+			var err error
+			stream, achieved, err = fw.CompressToRatio(f, request)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(stream) <= perField {
+				break
+			}
+			request *= float64(len(stream)) / float64(perField) * 1.05
+		}
+		total += len(stream)
+		recon, err := carol.Decompress(compressorName, stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %8d bytes (ratio %6.1f, max err %.3g)\n",
+			f.Name, len(stream), achieved, carol.MaxAbsError(f, recon))
+	}
+	fmt.Printf("total: %.3f MiB of %.3f MiB quota", mib(total), mib(budget))
+	if total <= budget {
+		fmt.Println("  -> within budget")
+	} else {
+		over := 100 * (float64(total)/float64(budget) - 1)
+		fmt.Printf("  -> %.1f%% over budget\n", over)
+	}
+}
+
+func mib(b int) float64 { return float64(b) / (1 << 20) }

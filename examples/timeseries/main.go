@@ -1,0 +1,108 @@
+// Time series (the paper's Hurricane Isabel scenario): data characteristics
+// drift across simulation time steps, so a model trained on early steps
+// degrades later. CAROL's checkpointed Bayesian optimization folds new
+// steps in cheaply (Framework.Refine); this example measures prediction
+// error before and after refinement on late hurricane time steps.
+//
+//	go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carol"
+	"carol/internal/dataset"
+	"carol/internal/stats"
+)
+
+const fieldName = "P" // sea-level pressure, where the eye is most visible
+
+func step(t int) *carol.Field {
+	f, err := dataset.Generate("hurricane", fieldName, dataset.Options{
+		Nx: 48, Ny: 48, Nz: 16, TimeStep: t,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+// alphaAt measures the end-to-end fixed-ratio error on one time step. The
+// requested ratios are probed from what the compressor can actually reach
+// on this data, so α reflects model fidelity rather than impossible asks.
+func alphaAt(fw *carol.Framework, f *carol.Field) float64 {
+	var acc stats.Accumulator
+	for _, rel := range []float64{2e-3, 1e-2, 5e-2} {
+		probe, err := carol.Compress("zfp", f, rel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target := carol.Ratio(f, probe)
+		_, achieved, err := fw.CompressToRatio(f, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc.Add(stats.PctError(achieved, target))
+	}
+	return acc.Mean()
+}
+
+func main() {
+	fw, err := carol.New("zfp", carol.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train on the first few time steps of the simulation.
+	var early []*carol.Field
+	for t := 0; t < 4; t++ {
+		early = append(early, step(t))
+	}
+	if _, err := fw.Collect(early); err != nil {
+		log.Fatal(err)
+	}
+	ts, err := fw.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial training: %d BO evaluations in %v\n", ts.Evaluated, ts.Duration.Round(1e6))
+
+	// As the hurricane evolves, check accuracy on later steps.
+	late := step(36)
+	before := alphaAt(fw, late)
+	fmt.Printf("step 36 before refinement: α = %.1f%%\n", before)
+
+	// Refine with mid-simulation steps; the BO search resumes from its
+	// checkpoint instead of restarting (ts.Resumed).
+	var mid []*carol.Field
+	for t := 20; t < 32; t += 4 {
+		mid = append(mid, step(t))
+	}
+	_, rts, err := fw.Refine(mid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refinement: %d extra BO evaluations in %v (resumed=%v)\n",
+		rts.Evaluated, rts.Duration.Round(1e6), rts.Resumed)
+
+	after := alphaAt(fw, late)
+	fmt.Printf("step 36 after refinement:  α = %.1f%%\n", after)
+	if after <= before {
+		fmt.Println("refinement improved (or held) late-step accuracy")
+	} else {
+		fmt.Println("refinement did not help on this run — collect more steps")
+	}
+
+	// The checkpoint survives process boundaries: serialize-observations
+	// and restore into a fresh framework.
+	ckpt := fw.Checkpoint()
+	fresh, err := carol.New("zfp", carol.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fresh.RestoreCheckpoint(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint carries %d observations into the next session\n", len(ckpt))
+}

@@ -1,0 +1,3 @@
+module carol
+
+go 1.22

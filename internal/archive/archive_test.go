@@ -1,0 +1,161 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+
+	"carol/internal/compressor"
+	"carol/internal/dataset"
+	"carol/internal/field"
+)
+
+func testFields(t *testing.T) []*field.Field {
+	t.Helper()
+	fields, err := dataset.GenerateAll("miranda", dataset.Options{Nx: 20, Ny: 20, Nz: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fields[:4]
+}
+
+func TestRoundTrip(t *testing.T) {
+	fields := testFields(t)
+	w := NewWriter()
+	codecNames := []string{"szx", "zfp", "sz3", "sperr"}
+	for i, f := range fields {
+		eb := compressor.AbsBound(f, 1e-3)
+		if err := w.Add(f.Name, codecNames[i], f, eb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Names()) != 4 {
+		t.Fatalf("Names = %v", a.Names())
+	}
+	for i, f := range fields {
+		g, err := a.Field(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb := compressor.AbsBound(f, 1e-3)
+		if err := compressor.CheckBound(f, g, eb); err != nil {
+			t.Fatalf("%s via %s: %v", f.Name, codecNames[i], err)
+		}
+	}
+	ratio, err := a.Ratio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1 {
+		t.Fatalf("archive ratio %g", ratio)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	f := testFields(t)[0]
+	w := NewWriter()
+	eb := compressor.AbsBound(f, 1e-2)
+	if err := w.Add("x", "szx", f, eb); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("x", "szx", f, eb); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	f := testFields(t)[0]
+	w := NewWriter()
+	if err := w.Add("x", "nope", f, 0.1); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if err := w.AddRaw(Entry{Name: "", Codec: "szx", Stream: []byte{1}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := w.AddRaw(Entry{Name: "y", Codec: "szx", Stream: nil}); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	f := testFields(t)[0]
+	w := NewWriter()
+	if err := w.Add("a", "szx", f, compressor.AbsBound(f, 1e-2)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Field("b"); err == nil {
+		t.Fatal("missing entry returned")
+	}
+	if _, ok := a.Entry("b"); ok {
+		t.Fatal("missing Entry returned")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		append([]byte("CAR1"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01), // huge count
+		append([]byte("CAR1"), 2, 1, 'a'),                                                  // truncated entry
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSizeEstimate(t *testing.T) {
+	f := testFields(t)[0]
+	w := NewWriter()
+	if err := w.Add("a", "szx", f, compressor.AbsBound(f, 1e-2)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > w.Size() {
+		t.Fatalf("actual %d exceeds estimate %d", buf.Len(), w.Size())
+	}
+}
+
+func TestSZPEntry(t *testing.T) {
+	f := testFields(t)[0]
+	w := NewWriter()
+	if err := w.Add("p", "szp", f, compressor.AbsBound(f, 1e-2)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Field("p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ratio(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package bitstream provides bit-granular writers and readers used by the
+// lossy compressors in this repository. All compressors (SZx, ZFP, SZ3,
+// SPERR) emit variable-width codes; Writer packs them MSB-first into a byte
+// slice and Reader unpacks them in the same order.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortStream is returned by Reader methods when the stream ends before
+// the requested number of bits could be read.
+var ErrShortStream = errors.New("bitstream: short stream")
+
+// Writer accumulates bits MSB-first. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within the low `n` bits
+	n    uint   // number of pending bits in cur (< 64)
+	bits uint64 // total bits written
+}
+
+// NewWriter returns a Writer with capacity hint of n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// WriteBit appends a single bit (any nonzero b writes 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur <<= 1
+	if b != 0 {
+		w.cur |= 1
+	}
+	w.n++
+	w.bits++
+	if w.n == 64 {
+		w.flushWord()
+	}
+}
+
+// WriteBool appends a single bit from a bool.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
+// WriteBits appends the low `width` bits of v, MSB of the field first.
+// width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: invalid width %d", width))
+	}
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	free := 64 - w.n
+	if width <= free {
+		w.cur = w.cur<<width | v
+		w.n += width
+		w.bits += uint64(width)
+		if w.n == 64 {
+			w.flushWord()
+		}
+		return
+	}
+	hi := width - free
+	w.cur = w.cur<<free | v>>hi
+	w.n = 64
+	w.bits += uint64(free)
+	w.flushWord()
+	w.cur = v & ((1 << hi) - 1)
+	w.n = hi
+	w.bits += uint64(hi)
+}
+
+// WriteUnary writes v as v one-bits followed by a zero bit. It is used for
+// small geometric-ish quantities (e.g. ZFP group tests).
+func (w *Writer) WriteUnary(v uint) {
+	for i := uint(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+func (w *Writer) flushWord() {
+	v := w.cur
+	w.buf = append(w.buf,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	w.cur = 0
+	w.n = 0
+}
+
+// Len returns the number of whole bits written so far.
+func (w *Writer) Len() uint64 { return w.bits }
+
+// Bytes flushes any pending partial byte (zero-padded) and returns the
+// underlying buffer. The Writer remains usable; further writes continue the
+// logical bit stream but Bytes must then be called again.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+8)
+	copy(out, w.buf)
+	if w.n > 0 {
+		v := w.cur << (64 - w.n)
+		for used := uint(0); used < w.n; used += 8 {
+			out = append(out, byte(v>>56))
+			v <<= 8
+		}
+	}
+	return out
+}
+
+// BitLen reports the exact number of valid bits represented by Bytes().
+func (w *Writer) BitLen() uint64 { return w.bits }
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int    // index of next byte to load
+	cur  uint64 // loaded bits, left-aligned in the low `n` bits
+	n    uint
+	read uint64
+	max  uint64 // maximum readable bits
+}
+
+// NewReader returns a Reader over buf. If bitLen > 0 it caps the number of
+// readable bits (otherwise 8*len(buf) is used).
+func NewReader(buf []byte, bitLen uint64) *Reader {
+	m := uint64(len(buf)) * 8
+	if bitLen > 0 && bitLen < m {
+		m = bitLen
+	}
+	return &Reader{buf: buf, max: m}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.read >= r.max {
+		return 0, ErrShortStream
+	}
+	if r.n == 0 {
+		if err := r.fill(); err != nil {
+			return 0, err
+		}
+	}
+	r.n--
+	r.read++
+	return uint(r.cur>>r.n) & 1, nil
+}
+
+// ReadBool reads a single bit as a bool.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadBit()
+	return b != 0, err
+}
+
+// ReadBits reads `width` bits, returning them right-aligned.
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: invalid width %d", width))
+	}
+	if width == 0 {
+		return 0, nil
+	}
+	if r.read+uint64(width) > r.max {
+		return 0, ErrShortStream
+	}
+	var v uint64
+	for width > 0 {
+		if r.n == 0 {
+			if err := r.fill(); err != nil {
+				return 0, err
+			}
+		}
+		take := width
+		if take > r.n {
+			take = r.n
+		}
+		r.n -= take
+		v = v<<take | (r.cur>>r.n)&((1<<take)-1)
+		r.read += uint64(take)
+		width -= take
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value (count of 1-bits before the first 0).
+func (r *Reader) ReadUnary() (uint, error) {
+	var v uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// Remaining reports the number of unread bits.
+func (r *Reader) Remaining() uint64 { return r.max - r.read }
+
+// Consumed reports the number of bits read so far.
+func (r *Reader) Consumed() uint64 { return r.read }
+
+func (r *Reader) fill() error {
+	if r.pos >= len(r.buf) {
+		return ErrShortStream
+	}
+	var v uint64
+	var n uint
+	for r.pos < len(r.buf) && n < 64 {
+		v = v<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		n += 8
+	}
+	r.cur = v
+	r.n = n
+	return nil
+}

@@ -1,0 +1,131 @@
+// Package boost implements gradient-boosted regression trees with squared
+// loss — one of the alternative machine-learning models the CAROL paper's
+// conclusion proposes exploring in place of the random forest. Each round
+// fits a shallow CART tree (reusing package rf's tree machinery via
+// single-tree forests) to the current residuals and adds it with shrinkage.
+package boost
+
+import (
+	"errors"
+	"fmt"
+
+	"carol/internal/rf"
+)
+
+// Config tunes the booster. Zero values take defaults.
+type Config struct {
+	// Rounds is the number of boosting stages. Default 100.
+	Rounds int
+	// Depth is the per-tree depth. Default 3 (classic stumps-plus).
+	Depth int
+	// Shrinkage is the learning rate. Default 0.1.
+	Shrinkage float64
+	// MinSamplesLeaf guards tiny leaves. Default 2.
+	MinSamplesLeaf int
+	// Seed drives tie-breaking inside tree construction.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.Depth <= 0 {
+		c.Depth = 3
+	}
+	if c.Shrinkage <= 0 {
+		c.Shrinkage = 0.1
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Model is a trained gradient-boosted ensemble.
+type Model struct {
+	base      float64
+	stages    []*rf.Forest // each a single-tree forest
+	shrinkage float64
+	dims      int
+}
+
+// Train fits a boosted ensemble on (X, y).
+func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("boost: empty or mismatched training data")
+	}
+	var base float64
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(len(y))
+
+	m := &Model{base: base, shrinkage: cfg.Shrinkage, dims: len(X[0])}
+	resid := make([]float64, len(y))
+	for i, v := range y {
+		resid[i] = v - base
+	}
+	treeCfg := rf.Config{
+		NEstimators:     1,
+		MaxFeatures:     rf.MaxFeaturesAuto,
+		MaxDepth:        cfg.Depth,
+		MinSamplesSplit: 2 * cfg.MinSamplesLeaf,
+		MinSamplesLeaf:  cfg.MinSamplesLeaf,
+		Bootstrap:       false,
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		treeCfg.Seed = cfg.Seed + uint64(round)
+		tree, err := rf.Train(X, resid, treeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("boost: round %d: %w", round, err)
+		}
+		m.stages = append(m.stages, tree)
+		// Update residuals.
+		var maxAbs float64
+		for i := range X {
+			p, err := tree.Predict(X[i])
+			if err != nil {
+				return nil, err
+			}
+			resid[i] -= cfg.Shrinkage * p
+			if a := abs(resid[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs < 1e-12 {
+			break // perfectly fit; further rounds are no-ops
+		}
+	}
+	return m, nil
+}
+
+// Rounds returns the number of fitted stages.
+func (m *Model) Rounds() int { return len(m.stages) }
+
+// Predict returns the boosted prediction for one feature row.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != m.dims {
+		return 0, fmt.Errorf("boost: predict with %d features, trained on %d", len(x), m.dims)
+	}
+	out := m.base
+	for _, stage := range m.stages {
+		p, err := stage.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		out += m.shrinkage * p
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,134 @@
+package boost
+
+import (
+	"math"
+	"testing"
+
+	"carol/internal/rf"
+	"carol/internal/xrand"
+)
+
+func synthData(n int, seed uint64, noise float64) ([][]float64, []float64) {
+	rng := xrand.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b, c}
+		y[i] = 3*a - 2*b*b + math.Sin(4*c) + noise*rng.Norm()
+	}
+	return X, y
+}
+
+func mse(t *testing.T, predict func([]float64) (float64, error), X [][]float64, y []float64) float64 {
+	t.Helper()
+	var s float64
+	for i := range X {
+		p, err := predict(X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p - y[i]
+		s += d * d
+	}
+	return s / float64(len(X))
+}
+
+func TestLearnsSignal(t *testing.T) {
+	X, y := synthData(600, 1, 0.01)
+	teX, teY := synthData(200, 2, 0)
+	m, err := Train(X, y, Config{Rounds: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mse(t, m.Predict, teX, teY); got > 0.05 {
+		t.Fatalf("test MSE %g", got)
+	}
+}
+
+func TestMoreRoundsHelp(t *testing.T) {
+	X, y := synthData(500, 3, 0.05)
+	teX, teY := synthData(200, 4, 0)
+	few, err := Train(X, y, Config{Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Train(X, y, Config{Rounds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse(t, many.Predict, teX, teY) >= mse(t, few.Predict, teX, teY) {
+		t.Fatal("120 rounds not better than 5")
+	}
+}
+
+func TestConstantTargetStopsEarly(t *testing.T) {
+	X, _ := synthData(50, 5, 0)
+	y := make([]float64, len(X))
+	for i := range y {
+		y[i] = -7
+	}
+	m, err := Train(X, y, Config{Rounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds() > 2 {
+		t.Fatalf("constant target used %d rounds", m.Rounds())
+	}
+	p, err := m.Predict(X[0])
+	if err != nil || p != -7 {
+		t.Fatalf("Predict = %g, %v", p, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	X, y := synthData(20, 6, 0)
+	m, err := Train(X, y, Config{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+}
+
+func TestComparableToForest(t *testing.T) {
+	// Boosting should be in the same accuracy league as a random forest on
+	// this smooth problem (the paper's future-work hypothesis).
+	X, y := synthData(500, 7, 0.05)
+	teX, teY := synthData(200, 8, 0)
+	gb, err := Train(X, y, Config{Rounds: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := rf.DefaultConfig()
+	fcfg.NEstimators = 50
+	forest, err := rf.Train(X, y, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbMSE := mse(t, gb.Predict, teX, teY)
+	rfMSE := mse(t, forest.Predict, teX, teY)
+	if gbMSE > 4*rfMSE+0.01 {
+		t.Fatalf("boosting far behind forest: %g vs %g", gbMSE, rfMSE)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	rng := xrand.New(1)
+	X := make([][]float64, 500)
+	y := make([]float64, 500)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = X[i][0] - X[i][1]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, Config{Rounds: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

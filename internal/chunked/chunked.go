@@ -1,0 +1,215 @@
+// Package chunked provides parallel whole-field compression on top of any
+// codec: the field is split into z-slabs (rows for 2D, runs for 1D), each
+// slab is compressed independently on its own goroutine, and the streams
+// are assembled into a self-describing container. Decompression is
+// likewise parallel.
+//
+// This is the standard HPC pattern for driving block-independent
+// compressors across cores (ZFP's OpenMP mode, cuSZp's thread blocks), and
+// what a CAROL deployment uses once the error bound is chosen. Chunking
+// changes the stream format but not the error bound: every sample is still
+// reconstructed within eb.
+package chunked
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+)
+
+// magic identifies chunked containers.
+var magic = [4]byte{'C', 'C', 'H', '1'}
+
+// Options tunes chunking. Zero values take defaults.
+type Options struct {
+	// Chunks is the number of slabs. Default: GOMAXPROCS, clamped to the
+	// splittable extent.
+	Chunks int
+	// Workers is the number of concurrent compressions. Default: GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Chunks <= 0 {
+		o.Chunks = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// slabRanges splits [0, n) into k contiguous non-empty ranges.
+func slabRanges(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// splitField cuts f into slabs along its slowest-varying non-trivial axis.
+func splitField(f *field.Field, chunks int) []*field.Field {
+	switch {
+	case f.Nz > 1:
+		ranges := slabRanges(f.Nz, chunks)
+		out := make([]*field.Field, len(ranges))
+		slabSize := f.Nx * f.Ny
+		for i, r := range ranges {
+			out[i] = field.FromData(
+				fmt.Sprintf("%s/z%d", f.Name, i), f.Nx, f.Ny, r[1]-r[0],
+				f.Data[r[0]*slabSize:r[1]*slabSize])
+		}
+		return out
+	case f.Ny > 1:
+		ranges := slabRanges(f.Ny, chunks)
+		out := make([]*field.Field, len(ranges))
+		for i, r := range ranges {
+			out[i] = field.FromData(
+				fmt.Sprintf("%s/y%d", f.Name, i), f.Nx, r[1]-r[0], 1,
+				f.Data[r[0]*f.Nx:r[1]*f.Nx])
+		}
+		return out
+	default:
+		ranges := slabRanges(f.Nx, chunks)
+		out := make([]*field.Field, len(ranges))
+		for i, r := range ranges {
+			out[i] = field.FromData(
+				fmt.Sprintf("%s/x%d", f.Name, i), r[1]-r[0], 1, 1,
+				f.Data[r[0]:r[1]])
+		}
+		return out
+	}
+}
+
+// Compress compresses f with codec at absolute bound eb, slab-parallel.
+func Compress(codec compressor.Codec, f *field.Field, eb float64, opts Options) ([]byte, error) {
+	if err := compressor.ValidateArgs(f, eb); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	slabs := splitField(f, opts.Chunks)
+	streams := make([][]byte, len(slabs))
+	errs := make([]error, len(slabs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i, slab := range slabs {
+		wg.Add(1)
+		go func(i int, slab *field.Field) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			streams[i], errs[i] = codec.Compress(slab, eb)
+		}(i, slab)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chunked: slab %d: %w", i, err)
+		}
+	}
+
+	// Container: magic, dims, chunk count, per-chunk lengths, streams.
+	var out []byte
+	out = append(out, magic[:]...)
+	var u32 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		out = append(out, u32[:]...)
+	}
+	put(uint32(f.Nx))
+	put(uint32(f.Ny))
+	put(uint32(f.Nz))
+	put(uint32(len(streams)))
+	for _, s := range streams {
+		put(uint32(len(s)))
+	}
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// Decompress reverses Compress, decoding slabs in parallel.
+func Decompress(codec compressor.Codec, stream []byte, opts Options) (*field.Field, error) {
+	opts = opts.withDefaults()
+	if len(stream) < 20 {
+		return nil, errors.New("chunked: short container")
+	}
+	if [4]byte(stream[:4]) != magic {
+		return nil, errors.New("chunked: bad container magic")
+	}
+	nx := int(binary.LittleEndian.Uint32(stream[4:]))
+	ny := int(binary.LittleEndian.Uint32(stream[8:]))
+	nz := int(binary.LittleEndian.Uint32(stream[12:]))
+	n := int(binary.LittleEndian.Uint32(stream[16:]))
+	if nx <= 0 || ny <= 0 || nz <= 0 || n <= 0 || n > 1<<16 {
+		return nil, errors.New("chunked: implausible container header")
+	}
+	pos := 20
+	lens := make([]int, n)
+	total := 0
+	for i := range lens {
+		if pos+4 > len(stream) {
+			return nil, errors.New("chunked: truncated length table")
+		}
+		lens[i] = int(binary.LittleEndian.Uint32(stream[pos:]))
+		total += lens[i]
+		pos += 4
+	}
+	if pos+total > len(stream) {
+		return nil, errors.New("chunked: truncated chunk data")
+	}
+	chunks := make([][]byte, n)
+	for i, l := range lens {
+		chunks[i] = stream[pos : pos+l]
+		pos += l
+	}
+
+	slabs := make([]*field.Field, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i, c := range chunks {
+		wg.Add(1)
+		go func(i int, c []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			slabs[i], errs[i] = codec.Decompress(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chunked: slab %d: %w", i, err)
+		}
+	}
+
+	f := field.New("chunked", nx, ny, nz)
+	offset := 0
+	for i, slab := range slabs {
+		if offset+slab.Len() > f.Len() {
+			return nil, fmt.Errorf("chunked: slab %d overflows field", i)
+		}
+		copy(f.Data[offset:], slab.Data)
+		offset += slab.Len()
+	}
+	if offset != f.Len() {
+		return nil, fmt.Errorf("chunked: slabs cover %d of %d samples", offset, f.Len())
+	}
+	return f, nil
+}

@@ -1,0 +1,68 @@
+// Package codecs provides the registry tying compressor names to their
+// implementations and SECRE surrogates, so frameworks and tools can be
+// configured with plain strings ("szx", "zfp", "sz3", "sperr").
+package codecs
+
+import (
+	"fmt"
+
+	"carol/internal/compressor"
+	"carol/internal/secre"
+	"carol/internal/sperr"
+	"carol/internal/sz3"
+	"carol/internal/szp"
+	"carol/internal/szx"
+	"carol/internal/zfp"
+)
+
+// Names lists the compressors of the paper's evaluation, in its canonical
+// order. The experiment harness iterates over exactly these four so its
+// tables match the paper's.
+var Names = []string{"szx", "zfp", "sz3", "sperr"}
+
+// ExtendedNames additionally includes the extension codecs available via
+// ByName (currently szp, the cuSZp-style delta compressor named in the
+// paper's experimental setup).
+var ExtendedNames = []string{"szx", "zfp", "sz3", "sperr", "szp"}
+
+// HighThroughput reports whether name belongs to the paper's
+// "high throughput" group (SZx, ZFP) as opposed to the
+// "high compression ratio" group (SZ3, SPERR).
+func HighThroughput(name string) bool { return name == "szx" || name == "zfp" }
+
+// ByName returns the full compressor for name.
+func ByName(name string) (compressor.Codec, error) {
+	switch name {
+	case "szx":
+		return szx.New(), nil
+	case "zfp":
+		return zfp.New(), nil
+	case "sz3":
+		return sz3.New(), nil
+	case "sperr":
+		return sperr.New(), nil
+	case "szp":
+		return szp.New(), nil
+	default:
+		return nil, fmt.Errorf("codecs: unknown compressor %q (have %v)", name, ExtendedNames)
+	}
+}
+
+// SurrogateByName returns the SECRE surrogate estimator for name with
+// default sampling options.
+func SurrogateByName(name string) (compressor.Estimator, error) {
+	return secre.New(name, secre.Options{})
+}
+
+// All returns every full compressor.
+func All() []compressor.Codec {
+	out := make([]compressor.Codec, 0, len(Names))
+	for _, n := range Names {
+		c, err := ByName(n)
+		if err != nil {
+			panic(err) // unreachable: Names is the source of truth
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package codecs
+
+import "testing"
+
+func TestByNameAll(t *testing.T) {
+	for _, name := range Names {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("codec %s reports name %s", name, c.Name())
+		}
+		s, err := SurrogateByName(name)
+		if err != nil {
+			t.Fatalf("%s surrogate: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("surrogate %s reports name %s", name, s.Name())
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("lzma"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, err := SurrogateByName("lzma"); err == nil {
+		t.Fatal("unknown surrogate accepted")
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != len(Names) {
+		t.Fatalf("All() returned %d codecs", len(all))
+	}
+	for i, c := range all {
+		if c.Name() != Names[i] {
+			t.Fatalf("All()[%d] = %s, want %s", i, c.Name(), Names[i])
+		}
+	}
+}
+
+func TestHighThroughputGrouping(t *testing.T) {
+	groups := map[string]bool{"szx": true, "zfp": true, "sz3": false, "sperr": false}
+	for name, want := range groups {
+		if got := HighThroughput(name); got != want {
+			t.Errorf("HighThroughput(%s) = %v, want %v", name, got, want)
+		}
+	}
+}

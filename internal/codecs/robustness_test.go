@@ -1,0 +1,188 @@
+package codecs
+
+import (
+	"fmt"
+	"testing"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/xrand"
+)
+
+// allExtended returns every codec including extensions, so robustness
+// coverage includes szp.
+func allExtended(t *testing.T) []compressor.Codec {
+	t.Helper()
+	out := make([]compressor.Codec, 0, len(ExtendedNames))
+	for _, n := range ExtendedNames {
+		c, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// corruptionField builds a small but non-trivial field to compress.
+func corruptionField() *field.Field {
+	n := xrand.NewNoise(99)
+	f := field.New("robust", 24, 20, 8)
+	for z := 0; z < f.Nz; z++ {
+		for y := 0; y < f.Ny; y++ {
+			for x := 0; x < f.Nx; x++ {
+				f.Set(x, y, z, float32(3*n.FBm(float64(x)/10, float64(y)/10, float64(z)/10, 4, 0.5)))
+			}
+		}
+	}
+	return f
+}
+
+// mustNotPanic runs the decoder on a corrupted stream; any outcome (error
+// or garbage field) is acceptable, a panic is not.
+func mustNotPanic(t *testing.T, codec compressor.Codec, stream []byte, what string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: decoder panicked on %s: %v", codec.Name(), what, r)
+		}
+	}()
+	_, _ = codec.Decompress(stream)
+}
+
+// TestDecoderRobustnessBitFlips injects single- and multi-byte corruption
+// everywhere in a valid stream. Failure injection per DESIGN.md: lossy
+// decoders face bit rot and truncated transfers in practice and must fail
+// with errors, never crash.
+func TestDecoderRobustnessBitFlips(t *testing.T) {
+	f := corruptionField()
+	rng := xrand.New(7)
+	for _, codec := range allExtended(t) {
+		stream, err := codec.Compress(f, compressor.AbsBound(f, 1e-2))
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		// Exhaustive single-byte flips over the header region, random flips
+		// over the payload.
+		limit := len(stream)
+		if limit > 64 {
+			limit = 64
+		}
+		for i := 0; i < limit; i++ {
+			bad := append([]byte(nil), stream...)
+			bad[i] ^= 0xFF
+			mustNotPanic(t, codec, bad, fmt.Sprintf("header flip @%d", i))
+		}
+		for trial := 0; trial < 300; trial++ {
+			bad := append([]byte(nil), stream...)
+			flips := rng.Intn(4) + 1
+			for k := 0; k < flips; k++ {
+				bad[rng.Intn(len(bad))] ^= byte(1 << rng.Intn(8))
+			}
+			mustNotPanic(t, codec, bad, "payload flips")
+		}
+	}
+}
+
+func TestDecoderRobustnessTruncation(t *testing.T) {
+	f := corruptionField()
+	for _, codec := range allExtended(t) {
+		stream, err := codec.Compress(f, compressor.AbsBound(f, 1e-2))
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		for _, keep := range []int{0, 1, 8, 20, len(stream) / 4, len(stream) / 2, len(stream) - 1} {
+			if keep > len(stream) {
+				continue
+			}
+			mustNotPanic(t, codec, stream[:keep], fmt.Sprintf("truncated to %d", keep))
+		}
+	}
+}
+
+func TestDecoderRobustnessGarbage(t *testing.T) {
+	rng := xrand.New(8)
+	for _, codec := range allExtended(t) {
+		for trial := 0; trial < 100; trial++ {
+			garbage := make([]byte, rng.Intn(200))
+			for i := range garbage {
+				garbage[i] = byte(rng.Uint64())
+			}
+			mustNotPanic(t, codec, garbage, "garbage")
+		}
+	}
+}
+
+// TestStreamsDeterministic compresses the same field twice with every
+// codec and requires byte-identical streams — reproducible archives are a
+// release requirement for scientific data management.
+func TestStreamsDeterministic(t *testing.T) {
+	f := corruptionField()
+	for _, codec := range allExtended(t) {
+		a, err := codec.Compress(f, compressor.AbsBound(f, 1e-3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := codec.Compress(f, compressor.AbsBound(f, 1e-3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: stream lengths differ: %d vs %d", codec.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: streams differ at byte %d", codec.Name(), i)
+			}
+		}
+	}
+}
+
+// TestRecompressionStability compresses a reconstruction again at the same
+// bound: the second stream must not blow up in size (the reconstruction is
+// by construction at least as smooth as the original).
+func TestRecompressionStability(t *testing.T) {
+	f := corruptionField()
+	for _, codec := range allExtended(t) {
+		eb := compressor.AbsBound(f, 1e-3)
+		s1, err := codec.Compress(f, eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := codec.Decompress(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := codec.Compress(g, eb)
+		if err != nil {
+			t.Fatalf("%s: recompress: %v", codec.Name(), err)
+		}
+		if float64(len(s2)) > 1.6*float64(len(s1)) {
+			t.Errorf("%s: recompression grew %d -> %d bytes", codec.Name(), len(s1), len(s2))
+		}
+	}
+}
+
+// TestDecoderRobustnessCrossCodec feeds each codec the streams of the
+// others; the magic byte must reject them cleanly.
+func TestDecoderRobustnessCrossCodec(t *testing.T) {
+	f := corruptionField()
+	streams := map[string][]byte{}
+	for _, codec := range allExtended(t) {
+		s, err := codec.Compress(f, compressor.AbsBound(f, 1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[codec.Name()] = s
+	}
+	for _, codec := range allExtended(t) {
+		for other, s := range streams {
+			if other == codec.Name() {
+				continue
+			}
+			if _, err := codec.Decompress(s); err == nil {
+				t.Errorf("%s accepted a %s stream", codec.Name(), other)
+			}
+		}
+	}
+}

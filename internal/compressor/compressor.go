@@ -1,0 +1,245 @@
+// Package compressor defines the error-bounded lossy compressor abstraction
+// shared by the four compressor implementations (SZx, ZFP, SZ3, SPERR), the
+// SECRE surrogate estimators, and the FXRZ/CAROL frameworks, plus the stream
+// header and measurement helpers they all use.
+package compressor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"carol/internal/field"
+)
+
+// Codec is an error-bounded lossy compressor. Compress must guarantee that
+// every reconstructed sample differs from the original by at most eb
+// (absolute error bound).
+type Codec interface {
+	// Name returns the compressor's short identifier ("szx", "zfp", ...).
+	Name() string
+	// Compress encodes f under absolute error bound eb > 0.
+	Compress(f *field.Field, eb float64) ([]byte, error)
+	// Decompress reconstructs the field encoded in stream.
+	Decompress(stream []byte) (*field.Field, error)
+}
+
+// Estimator predicts the compression ratio a Codec would achieve without
+// producing (or retaining) a full compressed stream. SECRE surrogates
+// implement this.
+type Estimator interface {
+	// Name returns the underlying compressor's identifier.
+	Name() string
+	// EstimateRatio predicts the compression ratio of the matching Codec on
+	// f at absolute error bound eb.
+	EstimateRatio(f *field.Field, eb float64) (float64, error)
+}
+
+// ErrBadStream is returned by Decompress implementations on malformed input.
+var ErrBadStream = errors.New("compressor: malformed stream")
+
+// Ratio returns the compression ratio achieved by stream on f
+// (original bytes / compressed bytes).
+func Ratio(f *field.Field, stream []byte) float64 {
+	if len(stream) == 0 {
+		return 0
+	}
+	return float64(f.SizeBytes()) / float64(len(stream))
+}
+
+// AbsBound converts a value-range-relative error bound to an absolute one
+// for f. A rel of 1e-3 means 0.1% of the field's value range. Fields with
+// zero range use rel directly so eb stays positive.
+func AbsBound(f *field.Field, rel float64) float64 {
+	r := f.ValueRange()
+	if r <= 0 {
+		return rel
+	}
+	return rel * r
+}
+
+// CheckBound verifies that g reconstructs f within eb at every sample and
+// returns the first violation found. The slack term covers the half-ulp
+// rounding incurred by storing reconstructions as float32 plus a small
+// relative margin for boundary-exact quantization.
+func CheckBound(f, g *field.Field, eb float64) error {
+	var maxAbs float64
+	for _, v := range f.Data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	slack := eb*1e-5 + maxAbs*math.Pow(2, -22)
+	return f.Equalish(g, eb+slack)
+}
+
+// MaxAbsErr returns the largest absolute reconstruction error.
+func MaxAbsErr(f, g *field.Field) float64 {
+	var m float64
+	for i := range f.Data {
+		d := math.Abs(float64(f.Data[i]) - float64(g.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// NRMSE returns the root-mean-square reconstruction error normalized by
+// the original field's value range — the headline fidelity metric of
+// SDRBench-style evaluations.
+func NRMSE(f, g *field.Field) float64 {
+	var mse float64
+	for i := range f.Data {
+		d := float64(f.Data[i]) - float64(g.Data[i])
+		mse += d * d
+	}
+	mse /= float64(len(f.Data))
+	r := f.ValueRange()
+	if r == 0 {
+		if mse == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(mse) / r
+}
+
+// Pearson returns the Pearson correlation coefficient between original and
+// reconstructed samples (1 for a perfect linear relationship).
+func Pearson(f, g *field.Field) float64 {
+	n := float64(len(f.Data))
+	var sf, sg, sff, sgg, sfg float64
+	for i := range f.Data {
+		a, b := float64(f.Data[i]), float64(g.Data[i])
+		sf += a
+		sg += b
+		sff += a * a
+		sgg += b * b
+		sfg += a * b
+	}
+	cov := sfg/n - (sf/n)*(sg/n)
+	vf := sff/n - (sf/n)*(sf/n)
+	vg := sgg/n - (sg/n)*(sg/n)
+	if vf <= 0 || vg <= 0 {
+		if vf == vg {
+			return 1 // both constant (and equal up to the bound)
+		}
+		return 0
+	}
+	return cov / math.Sqrt(vf*vg)
+}
+
+// PSNR returns the peak signal-to-noise ratio of the reconstruction in dB.
+func PSNR(f, g *field.Field) float64 {
+	var mse float64
+	for i := range f.Data {
+		d := float64(f.Data[i]) - float64(g.Data[i])
+		mse += d * d
+	}
+	mse /= float64(len(f.Data))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	r := f.ValueRange()
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return 20*math.Log10(r) - 10*math.Log10(mse)
+}
+
+// Header is the common stream prefix every codec writes: a magic byte
+// identifying the codec, grid dimensions, and the absolute error bound
+// used. The encoded form carries an FNV-1a checksum so that header
+// corruption (bit rot, truncated transfers) is detected before the decoder
+// trusts the dimensions for allocations.
+type Header struct {
+	Magic byte
+	Nx    int
+	Ny    int
+	Nz    int
+	EB    float64
+}
+
+// headerLen is the encoded size of Header (fields + checksum).
+const headerLen = 1 + 3*4 + 8 + 4
+
+// headerSum computes the FNV-1a checksum of the header field bytes.
+func headerSum(buf []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, b := range buf {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// AppendHeader serializes h onto dst.
+func AppendHeader(dst []byte, h Header) []byte {
+	var buf [headerLen]byte
+	buf[0] = h.Magic
+	binary.LittleEndian.PutUint32(buf[1:], uint32(h.Nx))
+	binary.LittleEndian.PutUint32(buf[5:], uint32(h.Ny))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(h.Nz))
+	binary.LittleEndian.PutUint64(buf[13:], math.Float64bits(h.EB))
+	binary.LittleEndian.PutUint32(buf[21:], headerSum(buf[:21]))
+	return append(dst, buf[:]...)
+}
+
+// ParseHeader decodes a Header and returns the remaining payload.
+func ParseHeader(stream []byte, wantMagic byte) (Header, []byte, error) {
+	if len(stream) < headerLen {
+		return Header{}, nil, fmt.Errorf("%w: short header", ErrBadStream)
+	}
+	if got := binary.LittleEndian.Uint32(stream[21:]); got != headerSum(stream[:21]) {
+		return Header{}, nil, fmt.Errorf("%w: header checksum mismatch", ErrBadStream)
+	}
+	h := Header{
+		Magic: stream[0],
+		Nx:    int(binary.LittleEndian.Uint32(stream[1:])),
+		Ny:    int(binary.LittleEndian.Uint32(stream[5:])),
+		Nz:    int(binary.LittleEndian.Uint32(stream[9:])),
+		EB:    math.Float64frombits(binary.LittleEndian.Uint64(stream[13:])),
+	}
+	if h.Magic != wantMagic {
+		return Header{}, nil, fmt.Errorf("%w: magic %#x, want %#x", ErrBadStream, h.Magic, wantMagic)
+	}
+	if h.Nx <= 0 || h.Ny <= 0 || h.Nz <= 0 {
+		return Header{}, nil, fmt.Errorf("%w: bad dims %dx%dx%d", ErrBadStream, h.Nx, h.Ny, h.Nz)
+	}
+	// Cap the total element count so an adversarial header cannot demand
+	// multi-gigabyte allocations from Decompress.
+	const maxElems = 1 << 28
+	if int64(h.Nx)*int64(h.Ny)*int64(h.Nz) > maxElems {
+		return Header{}, nil, fmt.Errorf("%w: oversized grid", ErrBadStream)
+	}
+	if !(h.EB > 0) || math.IsInf(h.EB, 0) {
+		return Header{}, nil, fmt.Errorf("%w: bad error bound %g", ErrBadStream, h.EB)
+	}
+	return h, stream[headerLen:], nil
+}
+
+// Magic bytes for the four codecs.
+const (
+	MagicSZx   byte = 0xA1
+	MagicZFP   byte = 0xA2
+	MagicSZ3   byte = 0xA3
+	MagicSPERR byte = 0xA4
+)
+
+// ValidateArgs performs the shared argument checks for Compress.
+func ValidateArgs(f *field.Field, eb float64) error {
+	if f == nil || f.Len() == 0 {
+		return errors.New("compressor: empty field")
+	}
+	if !(eb > 0) || math.IsInf(eb, 0) || math.IsNaN(eb) {
+		return fmt.Errorf("compressor: invalid error bound %g", eb)
+	}
+	for _, v := range f.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return errors.New("compressor: field contains non-finite samples")
+		}
+	}
+	return nil
+}

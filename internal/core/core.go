@@ -1,0 +1,440 @@
+// Package core implements the CAROL framework itself — the paper's primary
+// contribution (§4–§5): a ratio-controlled lossy compression framework that
+//
+//  1. collects training data with SECRE surrogate estimation instead of
+//     full compressor runs (core contribution 1),
+//  2. corrects the surrogate's systematic error with a few-point
+//     calibration for the high-ratio compressors (core contribution 2),
+//  3. tunes its random-forest model with checkpointable Bayesian
+//     optimization instead of randomized grid search (core contribution 3),
+//  4. extracts prediction features with the block-parallel extractor
+//     (core contribution 4).
+//
+// The exported, documented entry point for users is the root package carol,
+// which wraps this one.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"carol/internal/bayesopt"
+	"carol/internal/boost"
+	"carol/internal/calib"
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/features"
+	"carol/internal/field"
+	"carol/internal/gridsearch"
+	"carol/internal/knn"
+	"carol/internal/rf"
+	"carol/internal/trainset"
+)
+
+// Config tunes the framework. Zero values take defaults.
+type Config struct {
+	// ErrorBounds is the relative error-bound sweep used during data
+	// collection. Default: 35 geometric points in [1e-4, 1e-1].
+	ErrorBounds []float64
+	// CalibrationPoints is the number of full-compressor runs used to
+	// calibrate the surrogate per training field. -1 selects the paper's
+	// recommendation automatically: 0 for the high-throughput group
+	// (SZx, ZFP), 4 for the high-ratio group (SZ3, SPERR). Default -1.
+	CalibrationPoints int
+	// BOIterations is the number of Bayesian-optimization evaluations in a
+	// full training run. Default 10.
+	BOIterations int
+	// RefineIterations is the number of additional BO evaluations during
+	// an incremental Refine. Default 3.
+	RefineIterations int
+	// KFolds for cross-validation scoring. Default 3.
+	KFolds int
+	// ForestCap limits NEstimators in the final model to keep scaled-down
+	// experiments fast; 0 means no cap.
+	ForestCap int
+	// Features tunes the parallel feature extractor.
+	Features features.ParallelOptions
+	// Model selects the regression model: "rf" (random forest with
+	// Bayesian-optimized hyper-parameters — the paper's design), "gbt"
+	// (gradient-boosted trees) or "knn" (k-nearest neighbours). The
+	// alternatives implement the paper's "different machine learning
+	// models" future-work direction. Default "rf".
+	Model string
+	// Feedback enables the paper's second future-work direction, the
+	// on-the-fly improvement loop: every CompressToRatio outcome is fed
+	// back into the training set, and the model is refit (with its
+	// incumbent hyper-parameters — no new search) every FeedbackEvery
+	// outcomes.
+	Feedback bool
+	// FeedbackEvery is the refit cadence for Feedback. Default 8.
+	FeedbackEvery int
+	// Seed drives all randomized components.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.ErrorBounds) == 0 {
+		c.ErrorBounds = trainset.GeometricBounds(1e-4, 1e-1, 35)
+	}
+	if c.CalibrationPoints == 0 {
+		c.CalibrationPoints = -1
+	}
+	if c.BOIterations <= 0 {
+		c.BOIterations = 10
+	}
+	if c.RefineIterations <= 0 {
+		c.RefineIterations = 3
+	}
+	if c.KFolds <= 0 {
+		c.KFolds = 3
+	}
+	if c.Model == "" {
+		c.Model = "rf"
+	}
+	if c.FeedbackEvery <= 0 {
+		c.FeedbackEvery = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NoCalibration is the CalibrationPoints value that disables calibration
+// explicitly (as opposed to the automatic default).
+const NoCalibration = -2
+
+// CollectStats reports the cost of a data-collection run.
+type CollectStats struct {
+	Duration time.Duration
+	Fields   int
+	Samples  int
+	// FullCompressorRuns counts calibration runs of the real compressor.
+	FullCompressorRuns int
+	// SurrogateRuns counts SECRE estimations.
+	SurrogateRuns int
+}
+
+// TrainStats reports the cost and outcome of a training run.
+type TrainStats struct {
+	Duration   time.Duration
+	Evaluated  int
+	BestScore  float64
+	BestConfig rf.Config
+	// Trajectory records the configuration evaluated at each BO iteration
+	// (Figure 5b of the paper plots NEstimators from this).
+	Trajectory []rf.Config
+	// Resumed reports whether the run continued from a checkpoint.
+	Resumed bool
+}
+
+// regressor is the prediction interface every supported model satisfies.
+type regressor interface {
+	Predict(x []float64) (float64, error)
+}
+
+// Framework is a CAROL instance bound to one compressor.
+type Framework struct {
+	codec     compressor.Codec
+	surrogate compressor.Estimator
+	cfg       Config
+	set       trainset.Set
+	opt       *bayesopt.Optimizer
+	model     regressor
+	// bestCfg holds the incumbent forest hyper-parameters (rf model only),
+	// reused by feedback refits.
+	bestCfg rf.Config
+	// pendingFeedback counts outcomes recorded since the last refit.
+	pendingFeedback int
+}
+
+// New returns a CAROL framework for the named compressor
+// ("szx", "zfp", "sz3", "sperr").
+func New(name string, cfg Config) (*Framework, error) {
+	codec, err := codecs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	sur, err := codecs.SurrogateByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewWith(codec, sur, cfg), nil
+}
+
+// NewWith builds a framework from an explicit compressor and surrogate —
+// the extension path for compressors outside the built-in four ("Compressor
+// Behavior 3" in the paper's conclusions: pair a sampled full-compression
+// estimator with calibration when no purpose-built surrogate exists).
+func NewWith(codec compressor.Codec, surrogate compressor.Estimator, cfg Config) *Framework {
+	fw := &Framework{codec: codec, surrogate: surrogate, cfg: cfg.withDefaults()}
+	fw.opt = bayesopt.New(gridsearch.BOSpace(), fw.cfg.Seed)
+	return fw
+}
+
+// Codec returns the underlying compressor.
+func (fw *Framework) Codec() compressor.Codec { return fw.codec }
+
+// TrainingSize returns the number of collected samples.
+func (fw *Framework) TrainingSize() int { return fw.set.Len() }
+
+// calibrationPoints resolves the per-codec default.
+func (fw *Framework) calibrationPoints() int {
+	switch fw.cfg.CalibrationPoints {
+	case NoCalibration:
+		return 0
+	case -1:
+		if codecs.HighThroughput(fw.codec.Name()) {
+			return 0
+		}
+		return 4
+	default:
+		return fw.cfg.CalibrationPoints
+	}
+}
+
+// Collect runs CAROL's data collection on the given fields: parallel
+// feature extraction, optional per-field calibration, then a surrogate
+// estimate per error bound.
+func (fw *Framework) Collect(fields []*field.Field) (CollectStats, error) {
+	start := time.Now()
+	stats := CollectStats{Fields: len(fields)}
+	nCal := fw.calibrationPoints()
+	relLo := fw.cfg.ErrorBounds[0]
+	relHi := fw.cfg.ErrorBounds[len(fw.cfg.ErrorBounds)-1]
+	for _, f := range fields {
+		feat := features.ExtractParallel(f, fw.cfg.Features)
+		est := fw.surrogate
+		if nCal >= 2 {
+			bounds := calib.PickCalibrationBounds(
+				compressor.AbsBound(f, relLo), compressor.AbsBound(f, relHi), nCal)
+			model, err := calib.Fit(fw.codec, fw.surrogate, f, bounds)
+			if err != nil {
+				return stats, fmt.Errorf("core: calibrate %s: %w", f.Name, err)
+			}
+			stats.FullCompressorRuns += nCal
+			est = &calib.Estimator{Base: fw.surrogate, Model: model}
+		}
+		for _, rel := range fw.cfg.ErrorBounds {
+			ratio, err := est.EstimateRatio(f, compressor.AbsBound(f, rel))
+			if err != nil {
+				return stats, fmt.Errorf("core: estimate %s at rel=%g: %w", f.Name, rel, err)
+			}
+			stats.SurrogateRuns++
+			if err := fw.set.Add(trainset.Sample{Features: feat, Ratio: ratio, RelEB: rel}); err != nil {
+				return stats, err
+			}
+			stats.Samples++
+		}
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// Train runs Bayesian-optimized hyper-parameter search and fits the final
+// forest. If the optimizer already holds observations (from a previous
+// Train or a restored checkpoint) the search resumes instead of restarting.
+func (fw *Framework) Train() (TrainStats, error) {
+	return fw.train(fw.cfg.BOIterations)
+}
+
+// Refine performs incremental model refinement: collect data from the new
+// fields with the surrogate pipeline, resume the BO search from its
+// checkpoint for a few iterations, and refit. This is the path FXRZ cannot
+// take — its grid search starts over each time.
+func (fw *Framework) Refine(newFields []*field.Field) (CollectStats, TrainStats, error) {
+	cs, err := fw.Collect(newFields)
+	if err != nil {
+		return cs, TrainStats{}, err
+	}
+	ts, err := fw.train(fw.cfg.RefineIterations)
+	return cs, ts, err
+}
+
+func (fw *Framework) train(iterations int) (TrainStats, error) {
+	if fw.set.Len() == 0 {
+		return TrainStats{}, errors.New("core: no training data collected")
+	}
+	start := time.Now()
+	X, y := fw.set.Matrix()
+	switch fw.cfg.Model {
+	case "gbt":
+		m, err := boost.Train(X, y, boost.Config{Seed: fw.cfg.Seed})
+		if err != nil {
+			return TrainStats{}, fmt.Errorf("core: gbt fit: %w", err)
+		}
+		fw.model = m
+		return TrainStats{Duration: time.Since(start), Evaluated: 1}, nil
+	case "knn":
+		m, err := knn.Train(X, y, knn.Config{})
+		if err != nil {
+			return TrainStats{}, fmt.Errorf("core: knn fit: %w", err)
+		}
+		fw.model = m
+		return TrainStats{Duration: time.Since(start), Evaluated: 1}, nil
+	case "rf":
+		// Fall through to the Bayesian-optimized forest below.
+	default:
+		return TrainStats{}, fmt.Errorf("core: unknown model %q (rf|gbt|knn)", fw.cfg.Model)
+	}
+	stats := TrainStats{Resumed: len(fw.opt.Observations()) > 0}
+	for i := 0; i < iterations; i++ {
+		values := fw.opt.Suggest()
+		cfg, err := gridsearch.ConfigFromValues(values, fw.cfg.Seed)
+		if err != nil {
+			return stats, err
+		}
+		evalCfg := cfg
+		if fw.cfg.ForestCap > 0 && evalCfg.NEstimators > fw.cfg.ForestCap {
+			evalCfg.NEstimators = fw.cfg.ForestCap
+		}
+		score, err := rf.CrossValidate(X, y, evalCfg, fw.cfg.KFolds, fw.cfg.Seed+uint64(i))
+		if err != nil {
+			return stats, fmt.Errorf("core: BO iteration %d: %w", i, err)
+		}
+		if err := fw.opt.Observe(values, score); err != nil {
+			return stats, err
+		}
+		stats.Trajectory = append(stats.Trajectory, cfg)
+		stats.Evaluated++
+	}
+	bestValues, bestScore, ok := fw.opt.Best()
+	if !ok {
+		return stats, errors.New("core: optimizer has no observations")
+	}
+	bestCfg, err := gridsearch.ConfigFromValues(bestValues, fw.cfg.Seed)
+	if err != nil {
+		return stats, err
+	}
+	stats.BestScore = bestScore
+	stats.BestConfig = bestCfg
+	if fw.cfg.ForestCap > 0 && bestCfg.NEstimators > fw.cfg.ForestCap {
+		bestCfg.NEstimators = fw.cfg.ForestCap
+	}
+	forest, err := rf.Train(X, y, bestCfg)
+	if err != nil {
+		return stats, fmt.Errorf("core: final fit: %w", err)
+	}
+	fw.model = forest
+	fw.bestCfg = bestCfg
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// Trained reports whether a model is available.
+func (fw *Framework) Trained() bool { return fw.model != nil }
+
+// FeatureImportance returns the trained random forest's normalized
+// per-input importances (the five features plus the log target ratio).
+// Only available for the default "rf" model.
+func (fw *Framework) FeatureImportance() ([]float64, error) {
+	forest, ok := fw.model.(*rf.Forest)
+	if !ok || forest == nil {
+		return nil, errors.New("core: feature importance requires a trained rf model")
+	}
+	return forest.FeatureImportance(), nil
+}
+
+// Checkpoint exports the BO observations for persistence; Restore them into
+// a new Framework to resume training where this one stopped.
+func (fw *Framework) Checkpoint() []bayesopt.Observation {
+	return fw.opt.Observations()
+}
+
+// RestoreCheckpoint warm-starts the optimizer from a saved checkpoint.
+func (fw *Framework) RestoreCheckpoint(obs []bayesopt.Observation) error {
+	return fw.opt.Restore(obs)
+}
+
+// PredictErrorBound estimates the value-range-relative error bound that
+// should achieve targetRatio on f, using CAROL's parallel feature
+// extraction and the trained forest.
+func (fw *Framework) PredictErrorBound(f *field.Field, targetRatio float64) (float64, error) {
+	if fw.model == nil {
+		return 0, errors.New("core: model not trained")
+	}
+	if !(targetRatio > 0) {
+		return 0, fmt.Errorf("core: invalid target ratio %g", targetRatio)
+	}
+	feat := features.ExtractParallel(f, fw.cfg.Features)
+	pred, err := fw.model.Predict(trainset.Row(feat, targetRatio))
+	if err != nil {
+		return 0, err
+	}
+	return trainset.EBFromTarget(pred), nil
+}
+
+// CompressToRatio predicts the error bound for targetRatio and runs the
+// compressor with it, returning the stream and the achieved ratio. With
+// Config.Feedback enabled, the measured (features, achieved ratio, bound)
+// outcome is folded back into the training set — the paper's on-the-fly
+// model-improvement loop.
+func (fw *Framework) CompressToRatio(f *field.Field, targetRatio float64) ([]byte, float64, error) {
+	rel, err := fw.PredictErrorBound(f, targetRatio)
+	if err != nil {
+		return nil, 0, err
+	}
+	stream, err := fw.codec.Compress(f, compressor.AbsBound(f, rel))
+	if err != nil {
+		return nil, 0, err
+	}
+	achieved := compressor.Ratio(f, stream)
+	if fw.cfg.Feedback {
+		feat := features.ExtractParallel(f, fw.cfg.Features)
+		if err := fw.ObserveOutcome(feat, achieved, rel); err != nil {
+			return nil, 0, err
+		}
+	}
+	return stream, achieved, nil
+}
+
+// ObserveOutcome records a measured compression outcome — "this field, at
+// this relative error bound, actually achieved this ratio" — into the
+// training set, and refits the model in place (keeping the incumbent
+// hyper-parameters) once Config.FeedbackEvery outcomes have accumulated.
+func (fw *Framework) ObserveOutcome(feat features.Vector, achievedRatio, relEB float64) error {
+	if err := fw.set.Add(trainset.Sample{Features: feat, Ratio: achievedRatio, RelEB: relEB}); err != nil {
+		return fmt.Errorf("core: feedback sample: %w", err)
+	}
+	fw.pendingFeedback++
+	if fw.pendingFeedback < fw.cfg.FeedbackEvery || fw.model == nil {
+		return nil
+	}
+	fw.pendingFeedback = 0
+	return fw.refit()
+}
+
+// refit retrains the current model type on the accumulated set without a
+// new hyper-parameter search.
+func (fw *Framework) refit() error {
+	X, y := fw.set.Matrix()
+	switch fw.cfg.Model {
+	case "gbt":
+		m, err := boost.Train(X, y, boost.Config{Seed: fw.cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("core: feedback gbt refit: %w", err)
+		}
+		fw.model = m
+	case "knn":
+		m, err := knn.Train(X, y, knn.Config{})
+		if err != nil {
+			return fmt.Errorf("core: feedback knn refit: %w", err)
+		}
+		fw.model = m
+	default:
+		cfg := fw.bestCfg
+		if cfg.NEstimators == 0 {
+			cfg = rf.DefaultConfig()
+			if fw.cfg.ForestCap > 0 {
+				cfg.NEstimators = fw.cfg.ForestCap
+			}
+		}
+		forest, err := rf.Train(X, y, cfg)
+		if err != nil {
+			return fmt.Errorf("core: feedback rf refit: %w", err)
+		}
+		fw.model = forest
+	}
+	return nil
+}

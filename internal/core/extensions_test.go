@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"carol/internal/compressor"
+	"carol/internal/dataset"
+	"carol/internal/features"
+	"carol/internal/stats"
+)
+
+// TestAlternativeModels exercises the paper's future-work direction: the
+// framework must train and predict with gradient-boosted trees and k-NN in
+// place of the random forest, with sane end-to-end accuracy.
+func TestAlternativeModels(t *testing.T) {
+	fields := trainFields(t)
+	test, err := dataset.Generate("miranda", "velocityx", dataset.Options{Nx: 32, Ny: 32, Nz: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := New("szx", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	midStream, err := probe.Codec().Compress(test, compressor.AbsBound(test, 1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := compressor.Ratio(test, midStream)
+
+	for _, model := range []string{"rf", "gbt", "knn"} {
+		cfg := fastConfig()
+		cfg.Model = model
+		fw, err := New("szx", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Collect(fields); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := fw.Train()
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if model != "rf" && ts.Evaluated != 1 {
+			t.Fatalf("%s: evaluated %d (no hyper-search expected)", model, ts.Evaluated)
+		}
+		_, achieved, err := fw.CompressToRatio(test, target)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if a := stats.PctError(achieved, target); a > 80 {
+			t.Errorf("%s: achieved %g for target %g (α=%.0f%%)", model, achieved, target, a)
+		}
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Model = "svm"
+	fw, err := New("szx", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Collect(trainFields(t)[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Train(); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestFeedbackLoop verifies the on-the-fly improvement loop: outcomes are
+// recorded, and the model refits after FeedbackEvery observations.
+func TestFeedbackLoop(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Feedback = true
+	cfg.FeedbackEvery = 3
+	fw, err := New("szx", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := trainFields(t)
+	if _, err := fw.Collect(fields[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Train(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := fw.TrainingSize()
+	test := fields[2]
+	for i := 0; i < 4; i++ {
+		if _, _, err := fw.CompressToRatio(test, 5+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fw.TrainingSize(); got != sizeBefore+4 {
+		t.Fatalf("feedback recorded %d samples, want 4", got-sizeBefore)
+	}
+	// After the refit the model must still predict sensibly.
+	_, achieved, err := fw.CompressToRatio(test, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if achieved <= 0 {
+		t.Fatal("degenerate post-feedback prediction")
+	}
+}
+
+// TestFeedbackImprovesOnNewRegime trains on one kind of data, then feeds
+// back outcomes from a different regime; predictions on that regime should
+// not get worse and typically improve.
+func TestFeedbackImprovesOnNewRegime(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Feedback = true
+	cfg.FeedbackEvery = 4
+	fw, err := New("szx", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train only on smooth Miranda fields.
+	if _, err := fw.Collect(trainFields(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// New regime: NYX log-normal data.
+	nyx, err := dataset.Generate("nyx", "baryon_density", dataset.Options{Nx: 32, Ny: 32, Nz: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := fw.Codec().Compress(nyx, compressor.AbsBound(nyx, 1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := compressor.Ratio(nyx, probe)
+	alpha := func() float64 {
+		_, achieved, err := fw.CompressToRatio(nyx, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.PctError(achieved, target)
+	}
+	before := alpha()
+	// Feed several outcomes from the new regime (each call records one).
+	for i := 0; i < 12; i++ {
+		alpha()
+	}
+	after := alpha()
+	if after > before+10 {
+		t.Fatalf("feedback made things worse: %.1f%% -> %.1f%%", before, after)
+	}
+}
+
+func TestObserveOutcomeValidation(t *testing.T) {
+	fw, err := New("szx", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.ObserveOutcome(features.Vector{}, 0, 1e-3); err == nil {
+		t.Fatal("zero ratio accepted")
+	}
+	if err := fw.ObserveOutcome(features.Vector{}, 10, 0); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+}
+
+// TestRefitWithoutTrainedModelDefers ensures feedback before Train only
+// accumulates samples.
+func TestRefitWithoutTrainedModelDefers(t *testing.T) {
+	cfg := fastConfig()
+	cfg.FeedbackEvery = 1
+	fw, err := New("szx", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.ObserveOutcome(features.Vector{Mean: 1, Range: 1}, 10, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Trained() {
+		t.Fatal("feedback alone should not produce a model")
+	}
+}

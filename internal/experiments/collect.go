@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/dataset"
+	"carol/internal/features"
+	"carol/internal/field"
+	"carol/internal/trainset"
+)
+
+// datasetFields generates up to maxFields representative fields of a
+// dataset at the experiment sizing.
+func datasetFields(p params, ds string, maxFields int) ([]*field.Field, error) {
+	spec, err := dataset.Lookup(ds)
+	if err != nil {
+		return nil, err
+	}
+	names := spec.Fields
+	if len(names) > maxFields {
+		names = names[:maxFields]
+	}
+	out := make([]*field.Field, 0, len(names))
+	for _, fn := range names {
+		f, err := p.genField(ds, fn, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// collectedTrainingData builds a real (features, ratio) -> eb training
+// matrix for a dataset using the cheap SZx surrogate, for experiments that
+// only need realistic training data (Figure 5b).
+func collectedTrainingData(p params, ds string) ([][]float64, []float64, error) {
+	fields, err := datasetFields(p, ds, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	sur, err := codecs.SurrogateByName("szx")
+	if err != nil {
+		return nil, nil, err
+	}
+	var set trainset.Set
+	for _, f := range fields {
+		feat := features.ExtractParallel(f, features.ParallelOptions{})
+		for _, rel := range p.sweep {
+			r, err := sur.EstimateRatio(f, compressor.AbsBound(f, rel))
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := set.Add(trainset.Sample{Features: feat, Ratio: r, RelEB: rel}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	X, y := set.Matrix()
+	return X, y, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/stats"
+)
+
+// RunFig2 reproduces Figure 2: the compression function f(e) estimated by
+// running the full compressor (the FXRZ approach) and by SECRE, on the
+// Miranda viscosity field, for all four compressors — together with the
+// time each estimation sweep takes.
+func RunFig2(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Fig 2", "f(e) estimated by full compressor (FXRZ) vs SECRE, Miranda viscosity")
+	f, err := p.genField("miranda", "viscosity", 0)
+	if err != nil {
+		return err
+	}
+	for _, name := range codecs.Names {
+		codec, err := codecs.ByName(name)
+		if err != nil {
+			return err
+		}
+		sur, err := codecs.SurrogateByName(name)
+		if err != nil {
+			return err
+		}
+		fullRatios := make([]float64, len(p.sweep))
+		var fullTime, estTime time.Duration
+		d, err := timeIt(func() error {
+			for i, rel := range p.sweep {
+				stream, err := codec.Compress(f, compressor.AbsBound(f, rel))
+				if err != nil {
+					return err
+				}
+				fullRatios[i] = compressor.Ratio(f, stream)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fullTime = d
+		estRatios := make([]float64, len(p.sweep))
+		d, err = timeIt(func() error {
+			for i, rel := range p.sweep {
+				r, err := sur.EstimateRatio(f, compressor.AbsBound(f, rel))
+				if err != nil {
+					return err
+				}
+				estRatios[i] = r
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		estTime = d
+
+		fmt.Fprintf(w, "\n[%s] sweep of %d bounds: FXRZ(full) %s, SECRE %s (%.1fx speedup), α=%.1f%%\n",
+			name, len(p.sweep), ms(fullTime), ms(estTime),
+			float64(fullTime)/float64(estTime),
+			stats.EstimationError(estRatios, fullRatios))
+		tw := newTable(w)
+		fmt.Fprintln(tw, "rel_eb\tf_FXRZ(e)\tf_SECRE(e)")
+		for i, rel := range p.sweep {
+			fmt.Fprintf(tw, "%.2e\t%.2f\t%.2f\n", rel, fullRatios[i], estRatios[i])
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

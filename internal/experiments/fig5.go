@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"carol/internal/bayesopt"
+	"carol/internal/gridsearch"
+	"carol/internal/rf"
+	"carol/internal/xrand"
+)
+
+// synthTrainingSet builds a regression problem shaped like the frameworks'
+// training data: 6 inputs (5 features + log ratio), 1 target (log rel eb),
+// with a smooth underlying mapping.
+func synthTrainingSet(n int, seed uint64) ([][]float64, []float64) {
+	rng := xrand.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		mean := rng.Range(-1, 1)
+		rg := rng.Range(0.5, 4)
+		mnd := rng.Range(0, 0.2)
+		mld := rng.Range(0, 0.2)
+		msd := rng.Range(0, 0.4)
+		logR := rng.Range(0.3, 3)
+		X[i] = []float64{mean, rg, mnd, mld, msd, logR}
+		// Smoother data (low mnd) needs looser bounds for the same ratio.
+		y[i] = -4 + logR*0.9 + 2*mnd/(0.1+rg) + 0.3*msd + 0.02*rng.Norm()
+	}
+	return X, y
+}
+
+// trainingSizes returns the sweep of training-set sizes per scale.
+func trainingSizes(s Scale) []int {
+	if s == ScalePaper {
+		return []int{2000, 8000, 20000, 40000}
+	}
+	return []int{300, 1000, 3000}
+}
+
+// RunFig5a reproduces Figure 5a: training time as the training set grows,
+// for FXRZ's randomized grid search, CAROL's Bayesian optimization from
+// scratch, and CAROL's checkpointed incremental refinement.
+func RunFig5a(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Fig 5a", "Training time vs training-set size")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "samples\tgrid search\tBO (fresh)\tBO (checkpointed)")
+
+	space := gridsearch.BOSpace()
+	// The checkpointed run carries observations across sizes, modelling a
+	// framework that refines as data accumulates.
+	ckptOpt := bayesopt.New(space, p.seed)
+	refineIters := 3
+
+	for _, n := range trainingSizes(s) {
+		X, y := synthTrainingSet(n, p.seed)
+
+		gridTime, err := timeIt(func() error {
+			_, err := gridsearch.Search(X, y, p.gridCfgs, 3, p.seed, p.forestCap)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		boTime, err := timeIt(func() error {
+			opt := bayesopt.New(space, p.seed)
+			return boIterate(opt, X, y, p.boIters, p)
+		})
+		if err != nil {
+			return err
+		}
+
+		ckptTime, err := timeIt(func() error {
+			return boIterate(ckptOpt, X, y, refineIters, p)
+		})
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", n, ms(gridTime), ms(boTime), ms(ckptTime))
+	}
+	return tw.Flush()
+}
+
+// boIterate runs `iters` BO evaluations against (X, y).
+func boIterate(opt *bayesopt.Optimizer, X [][]float64, y []float64, iters int, p params) error {
+	for i := 0; i < iters; i++ {
+		values := opt.Suggest()
+		cfg, err := gridsearch.ConfigFromValues(values, p.seed)
+		if err != nil {
+			return err
+		}
+		if p.forestCap > 0 && cfg.NEstimators > p.forestCap {
+			cfg.NEstimators = p.forestCap
+		}
+		score, err := rf.CrossValidate(X, y, cfg, 3, p.seed+uint64(i))
+		if err != nil {
+			return err
+		}
+		if err := opt.Observe(values, score); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFig5b reproduces Figure 5b: the n_estimators hyper-parameter chosen at
+// each of the BO iterations, for all six datasets — exploration scattering
+// early, exploitation settling late.
+func RunFig5b(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Fig 5b", "n_estimators per BO iteration, six datasets")
+	iters := 10
+	tw := newTable(w)
+	fmt.Fprint(tw, "iter")
+	datasets := []string{"miranda", "nyx", "cesm", "hurricane", "hcci", "mrs"}
+	for _, ds := range datasets {
+		fmt.Fprintf(tw, "\t%s", ds)
+	}
+	fmt.Fprintln(tw)
+
+	series := make([][]int, len(datasets))
+	for di, ds := range datasets {
+		X, y, err := collectedTrainingData(p, ds)
+		if err != nil {
+			return err
+		}
+		opt := bayesopt.New(gridsearch.BOSpace(), p.seed+uint64(di))
+		for i := 0; i < iters; i++ {
+			values := opt.Suggest()
+			cfg, err := gridsearch.ConfigFromValues(values, p.seed)
+			if err != nil {
+				return err
+			}
+			series[di] = append(series[di], cfg.NEstimators)
+			// No forest cap here: the training sets are small, and capping
+			// NEstimators would erase the very convergence signal this
+			// figure plots.
+			score, err := rf.CrossValidate(X, y, cfg, 3, p.seed+uint64(i))
+			if err != nil {
+				return err
+			}
+			if err := opt.Observe(values, score); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < iters; i++ {
+		fmt.Fprintf(tw, "%d", i+1)
+		for di := range datasets {
+			fmt.Fprintf(tw, "\t%d", series[di][i])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

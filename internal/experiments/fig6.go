@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/features"
+)
+
+// RunFig6 reproduces Figure 6: feature extraction time on an NYX field with
+// the serial-full, serial-sampled (FXRZ) and parallel (CAROL) extractors,
+// compared against SZx, SZ3 and SPERR compression time on the same data.
+//
+// The paper's "Parallel" bar runs on an Nvidia A100; here it runs on
+// goroutines across the host's cores, so its advantage over Serial-Sampled
+// scales with GOMAXPROCS rather than with GPU width (DESIGN.md §2).
+func RunFig6(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Fig 6", fmt.Sprintf("Feature extraction vs compression time, NYX baryon density (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
+	f, err := p.genTimingField("nyx", "baryon_density", 0)
+	if err != nil {
+		return err
+	}
+	eb := compressor.AbsBound(f, 1e-3)
+
+	tw := newTable(w)
+	fmt.Fprintln(tw, "stage\ttime")
+	full, err := timeIt(func() error { features.ExtractFull(f); return nil })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "features serial-full\t%s\n", ms(full))
+	sampled, err := timeIt(func() error { features.ExtractSampled(f, 4); return nil })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "features serial-sampled (FXRZ)\t%s\n", ms(sampled))
+	par, err := timeIt(func() error { features.ExtractParallel(f, features.ParallelOptions{}); return nil })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "features parallel (CAROL)\t%s\n", ms(par))
+
+	for _, name := range []string{"szx", "sz3", "sperr"} {
+		codec, err := codecs.ByName(name)
+		if err != nil {
+			return err
+		}
+		d, err := timeIt(func() error {
+			_, err := codec.Compress(f, eb)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "compress %s\t%s\n", name, ms(d))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "speedups: sampled/full %.1fx, parallel/full %.1fx, parallel/sampled %.1fx\n",
+		float64(full)/float64(sampled), float64(full)/float64(par), float64(sampled)/float64(par))
+	return nil
+}
+
+// RunFig9 reproduces Figure 9: per-dataset feature extraction time for
+// FXRZ (serial strided) and CAROL (block-parallel), with speedups.
+func RunFig9(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Fig 9", "Feature extraction time per dataset: FXRZ vs CAROL")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\tFXRZ\tCAROL\tspeedup")
+	for _, spec := range []struct{ ds, field string }{
+		{"miranda", "viscosity"},
+		{"nyx", "baryon_density"},
+		{"cesm", "TS"},
+		{"hurricane", "P"},
+		{"hcci", "temperature"},
+		{"mrs", "magnetic_reconnection"},
+	} {
+		f, err := p.genTimingField(spec.ds, spec.field, 0)
+		if err != nil {
+			return err
+		}
+		// Median-of-3 to damp scheduler noise.
+		fx := medianTime(3, func() { features.ExtractSampled(f, 4) })
+		ca := medianTime(3, func() { features.ExtractParallel(f, features.ParallelOptions{}) })
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1fx\n", spec.ds, ms(fx), ms(ca), float64(fx)/float64(ca))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"carol/internal/codecs"
+	"carol/internal/core"
+	"carol/internal/field"
+	"carol/internal/fxrz"
+	"carol/internal/stats"
+)
+
+// multiDomainTrain assembles the paper's multi-domain training corpus:
+// 4 NYX fields, 5 Miranda fields, plus the HCCI and MRS simulations.
+// (Miranda velocity-x and diffusivity are held out for testing.)
+func multiDomainTrain(p params) ([]*field.Field, error) {
+	var out []*field.Field
+	add := func(ds string, names ...string) error {
+		for _, n := range names {
+			f, err := p.genField(ds, n, 0)
+			if err != nil {
+				return err
+			}
+			out = append(out, f)
+		}
+		return nil
+	}
+	if err := add("nyx", "baryon_density", "dark_matter_density", "temperature", "velocity_x"); err != nil {
+		return nil, err
+	}
+	if err := add("miranda", "density", "pressure", "velocityy", "velocityz", "viscosity"); err != nil {
+		return nil, err
+	}
+	if err := add("hcci", "temperature"); err != nil {
+		return nil, err
+	}
+	if err := add("mrs", "magnetic_reconnection"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunFig7 reproduces Figure 7: with models trained on the multi-domain
+// corpus, request a range of compression ratios on the held-out Miranda
+// velocity-x field and plot what FXRZ and CAROL actually achieve.
+func RunFig7(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Fig 7", "Multi-domain: requested vs achieved ratio, Miranda velocity-x")
+	train, err := multiDomainTrain(p)
+	if err != nil {
+		return err
+	}
+	test, err := p.genField("miranda", "velocityx", 0)
+	if err != nil {
+		return err
+	}
+	for _, name := range codecs.Names {
+		codec, err := codecs.ByName(name)
+		if err != nil {
+			return err
+		}
+		fx := fxrz.New(codec, fxrz.Config{
+			ErrorBounds: p.sweep, GridConfigs: p.gridCfgs,
+			ForestCap: p.forestCap, Seed: p.seed,
+		})
+		if _, err := fx.Collect(train); err != nil {
+			return err
+		}
+		if _, err := fx.Train(); err != nil {
+			return err
+		}
+		ca, err := core.New(name, core.Config{
+			ErrorBounds: p.sweep, BOIterations: p.boIters,
+			ForestCap: p.forestCap, Seed: p.seed,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := ca.Collect(train); err != nil {
+			return err
+		}
+		if _, err := ca.Train(); err != nil {
+			return err
+		}
+		targets, err := achievableTargets(codec, test, p, 6)
+		if err != nil {
+			return err
+		}
+		tw := newTable(w)
+		fmt.Fprintf(w, "\n[%s]\n", name)
+		fmt.Fprintln(tw, "requested f\tachieved f_FXRZ\tachieved f_CAROL")
+		var accF, accC stats.Accumulator
+		for _, target := range targets {
+			_, gotF, err := fx.CompressToRatio(test, target)
+			if err != nil {
+				return err
+			}
+			_, gotC, err := ca.CompressToRatio(test, target)
+			if err != nil {
+				return err
+			}
+			accF.Add(stats.PctError(gotF, target))
+			accC.Add(stats.PctError(gotC, target))
+			fmt.Fprintf(tw, "%.2f\t%.2f\t%.2f\n", target, gotF, gotC)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "α: FXRZ %.1f%%, CAROL %.1f%%\n", accF.Mean(), accC.Mean())
+	}
+	return nil
+}
+
+// RunFig8 reproduces Figure 8: end-to-end setup time (data collection +
+// model training) of FXRZ and CAROL per compressor on the multi-domain
+// corpus, with speedups.
+func RunFig8(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Fig 8", "Setup time (collection + training): FXRZ vs CAROL")
+	train, err := multiDomainTrain(p)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "compressor\tFXRZ collect\tFXRZ train\tCAROL collect\tCAROL train\tsetup speedup")
+	for _, name := range codecs.Names {
+		codec, err := codecs.ByName(name)
+		if err != nil {
+			return err
+		}
+		fx := fxrz.New(codec, fxrz.Config{
+			ErrorBounds: p.sweep, GridConfigs: p.gridCfgs,
+			ForestCap: p.forestCap, Seed: p.seed,
+		})
+		csF, err := fx.Collect(train)
+		if err != nil {
+			return err
+		}
+		tsF, err := fx.Train()
+		if err != nil {
+			return err
+		}
+		ca, err := core.New(name, core.Config{
+			ErrorBounds: p.sweep, BOIterations: p.boIters,
+			ForestCap: p.forestCap, Seed: p.seed,
+		})
+		if err != nil {
+			return err
+		}
+		csC, err := ca.Collect(train)
+		if err != nil {
+			return err
+		}
+		tsC, err := ca.Train()
+		if err != nil {
+			return err
+		}
+		fxTotal := csF.Duration + tsF.Duration
+		caTotal := csC.Duration + tsC.Duration
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.1fx\n",
+			name, ms(csF.Duration), ms(tsF.Duration),
+			ms(csC.Duration), ms(tsC.Duration),
+			float64(fxTotal)/float64(caTotal))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/field"
+)
+
+// collectionDatasets are the five dataset rows of Tables 4 and 5.
+var collectionDatasets = []struct{ ds, field string }{
+	{"miranda", "viscosity"},
+	{"nyx", "baryon_density"},
+	{"hurricane", "P"},
+	{"cesm", "TS"},
+	{"hcci", "temperature"}, // the paper's "Klacansky" row
+}
+
+// RunTable4 reproduces Table 4: training-data collection time per dataset
+// using the full compressor vs SECRE surrogate estimation, with per-codec
+// speedups.
+func RunTable4(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Table 4", "Collection time: full compressor (full) vs SECRE estimation (est)")
+	tw := newTable(w)
+	fmt.Fprint(tw, "dataset")
+	for _, name := range codecs.Names {
+		fmt.Fprintf(tw, "\t%s full\t%s est", name, name)
+	}
+	fmt.Fprintln(tw)
+
+	sumFull := make(map[string]time.Duration)
+	sumEst := make(map[string]time.Duration)
+	for _, row := range collectionDatasets {
+		f, err := p.genField(row.ds, row.field, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(tw, row.ds)
+		for _, name := range codecs.Names {
+			full, est, err := collectTimes(p, name, f)
+			if err != nil {
+				return err
+			}
+			sumFull[name] += full
+			sumEst[name] += est
+			fmt.Fprintf(tw, "\t%s\t%s", ms(full), ms(est))
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "speedup")
+	for _, name := range codecs.Names {
+		fmt.Fprintf(tw, "\t%.1fx\t", float64(sumFull[name])/float64(sumEst[name]))
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// collectTimes measures one error-bound sweep on f with the full
+// compressor and with the SECRE surrogate.
+func collectTimes(p params, codecName string, f *field.Field) (full, est time.Duration, err error) {
+	codec, err := codecs.ByName(codecName)
+	if err != nil {
+		return 0, 0, err
+	}
+	sur, err := codecs.SurrogateByName(codecName)
+	if err != nil {
+		return 0, 0, err
+	}
+	full, err = timeIt(func() error {
+		for _, rel := range p.sweep {
+			if _, err := codec.Compress(f, compressor.AbsBound(f, rel)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	est, err = timeIt(func() error {
+		for _, rel := range p.sweep {
+			if _, err := sur.EstimateRatio(f, compressor.AbsBound(f, rel)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return full, est, err
+}

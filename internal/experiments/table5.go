@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"carol/internal/calib"
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/stats"
+)
+
+// RunTable5 reproduces Table 5: the effectiveness of calibration for SZ3
+// and SPERR — speedup over the full compressor and estimation error α with
+// no calibration and with 3, 4 and 5 calibration points.
+func RunTable5(w io.Writer, s Scale) error {
+	p := paramsFor(s)
+	header(w, "Table 5", "Calibration effectiveness (S = speedup over full compression sweep)")
+	for _, codecName := range []string{"sz3", "sperr"} {
+		fmt.Fprintf(w, "\n[%s]\n", codecName)
+		tw := newTable(w)
+		fmt.Fprintln(tw, "dataset\tS(0pt)\tα(0pt)\tS(3pt)\tα(3pt)\tS(4pt)\tα(4pt)\tS(5pt)\tα(5pt)")
+		var avgS [4]float64
+		var avgA [4]float64
+		rows := 0
+		for _, row := range collectionDatasets {
+			f, err := p.genField(row.ds, row.field, 0)
+			if err != nil {
+				return err
+			}
+			codec, err := codecs.ByName(codecName)
+			if err != nil {
+				return err
+			}
+			sur, err := codecs.SurrogateByName(codecName)
+			if err != nil {
+				return err
+			}
+			// Ground truth sweep (timed: the "full" baseline).
+			truths := make([]float64, len(p.sweep))
+			fullTime, err := timeIt(func() error {
+				for i, rel := range p.sweep {
+					stream, err := codec.Compress(f, compressor.AbsBound(f, rel))
+					if err != nil {
+						return err
+					}
+					truths[i] = compressor.Ratio(f, stream)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(tw, row.ds)
+			for pi, nCal := range []int{0, 3, 4, 5} {
+				ests := make([]float64, len(p.sweep))
+				var estTime time.Duration
+				if nCal == 0 {
+					estTime, err = timeIt(func() error {
+						for i, rel := range p.sweep {
+							ests[i], err = sur.EstimateRatio(f, compressor.AbsBound(f, rel))
+							if err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+				} else {
+					lo := compressor.AbsBound(f, p.sweep[0])
+					hi := compressor.AbsBound(f, p.sweep[len(p.sweep)-1])
+					var model *calib.Model
+					calTime, err := timeIt(func() error {
+						var err error
+						model, err = calib.Fit(codec, sur, f, calib.PickCalibrationBounds(lo, hi, nCal))
+						return err
+					})
+					if err != nil {
+						return err
+					}
+					sweepTime, err := timeIt(func() error {
+						for i, rel := range p.sweep {
+							eb := compressor.AbsBound(f, rel)
+							raw, err := sur.EstimateRatio(f, eb)
+							if err != nil {
+								return err
+							}
+							ests[i] = model.Correct(eb, raw)
+						}
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					estTime = calTime + sweepTime
+				}
+				speedup := float64(fullTime) / float64(estTime)
+				alpha := stats.EstimationError(ests, truths)
+				avgS[pi] += speedup
+				avgA[pi] += alpha
+				fmt.Fprintf(tw, "\t%.1fx\t%.1f%%", speedup, alpha)
+			}
+			fmt.Fprintln(tw)
+			rows++
+		}
+		fmt.Fprint(tw, "average")
+		for pi := range avgS {
+			fmt.Fprintf(tw, "\t%.1fx\t%.1f%%", avgS[pi]/float64(rows), avgA[pi]/float64(rows))
+		}
+		fmt.Fprintln(tw)
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+)
+
+// durationMicros converts microseconds to a time.Duration (test helper).
+func durationMicros(us int64) time.Duration { return time.Duration(us) * time.Microsecond }
+
+// medianTime runs fn `runs` times and returns the median duration.
+func medianTime(runs int, fn func()) time.Duration {
+	if runs < 1 {
+		runs = 1
+	}
+	ds := make([]time.Duration, runs)
+	for i := range ds {
+		start := time.Now()
+		fn()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[runs/2]
+}

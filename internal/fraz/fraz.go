@@ -1,0 +1,131 @@
+// Package fraz implements the generic trial-and-error fixed-ratio strategy
+// of FRaZ (Underwood et al., IPDPS 2020 — reference [24] of the CAROL
+// paper): repeatedly run the real compressor, bisecting on the error bound
+// until the achieved compression ratio lands within a tolerance of the
+// target. It needs no training at all, but costs one full compression per
+// probe — the trade-off CAROL's §3.2 uses to motivate learned prediction,
+// and the baseline the extension experiments compare against.
+package fraz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+)
+
+// Options tunes the search. Zero values take defaults.
+type Options struct {
+	// RelLo and RelHi bound the relative error-bound search interval.
+	// Defaults 1e-6 and 0.5.
+	RelLo, RelHi float64
+	// Tolerance is the acceptable |achieved/target - 1|. Default 0.05.
+	Tolerance float64
+	// MaxIters caps the number of compressor runs. Default 16.
+	MaxIters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RelLo <= 0 {
+		o.RelLo = 1e-6
+	}
+	if o.RelHi <= 0 {
+		o.RelHi = 0.5
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.05
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 16
+	}
+	return o
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// RelEB is the value-range-relative error bound selected.
+	RelEB float64
+	// Stream is the compressed output at RelEB.
+	Stream []byte
+	// Achieved is the compression ratio of Stream.
+	Achieved float64
+	// Runs is the number of full compressor executions performed.
+	Runs int
+	// Converged reports whether Achieved is within Tolerance of the target.
+	Converged bool
+}
+
+// Search finds an error bound whose compression ratio approximates
+// targetRatio, via bisection in log error-bound space (compression ratio is
+// monotone non-decreasing in the bound).
+func Search(codec compressor.Codec, f *field.Field, targetRatio float64, opts Options) (Result, error) {
+	if !(targetRatio > 0) {
+		return Result{}, fmt.Errorf("fraz: invalid target ratio %g", targetRatio)
+	}
+	if f == nil || f.Len() == 0 {
+		return Result{}, errors.New("fraz: empty field")
+	}
+	opts = opts.withDefaults()
+
+	probe := func(rel float64) (float64, []byte, error) {
+		stream, err := codec.Compress(f, compressor.AbsBound(f, rel))
+		if err != nil {
+			return 0, nil, fmt.Errorf("fraz: probe at rel=%g: %w", rel, err)
+		}
+		return compressor.Ratio(f, stream), stream, nil
+	}
+
+	res := Result{}
+	lo, hi := math.Log(opts.RelLo), math.Log(opts.RelHi)
+
+	// Probe the endpoints first: if the target is outside the reachable
+	// range, return the closest endpoint.
+	rLo, sLo, err := probe(opts.RelLo)
+	if err != nil {
+		return res, err
+	}
+	res.Runs++
+	if targetRatio <= rLo {
+		return Result{RelEB: opts.RelLo, Stream: sLo, Achieved: rLo, Runs: res.Runs,
+			Converged: within(rLo, targetRatio, opts.Tolerance)}, nil
+	}
+	rHi, sHi, err := probe(opts.RelHi)
+	if err != nil {
+		return res, err
+	}
+	res.Runs++
+	if targetRatio >= rHi {
+		return Result{RelEB: opts.RelHi, Stream: sHi, Achieved: rHi, Runs: res.Runs,
+			Converged: within(rHi, targetRatio, opts.Tolerance)}, nil
+	}
+
+	best := Result{RelEB: opts.RelLo, Stream: sLo, Achieved: rLo, Runs: res.Runs}
+	for res.Runs < opts.MaxIters {
+		mid := math.Exp((lo + hi) / 2)
+		r, s, err := probe(mid)
+		if err != nil {
+			return res, err
+		}
+		res.Runs++
+		if math.Abs(r-targetRatio)/targetRatio < math.Abs(best.Achieved-targetRatio)/targetRatio {
+			best = Result{RelEB: mid, Stream: s, Achieved: r, Runs: res.Runs}
+		}
+		if within(r, targetRatio, opts.Tolerance) {
+			return Result{RelEB: mid, Stream: s, Achieved: r, Runs: res.Runs, Converged: true}, nil
+		}
+		if r < targetRatio {
+			lo = math.Log(mid)
+		} else {
+			hi = math.Log(mid)
+		}
+	}
+	best.Runs = res.Runs
+	best.Converged = within(best.Achieved, targetRatio, opts.Tolerance)
+	return best, nil
+}
+
+func within(achieved, target, tol float64) bool {
+	return math.Abs(achieved/target-1) <= tol
+}

@@ -1,0 +1,133 @@
+package fraz
+
+import (
+	"testing"
+
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/dataset"
+	"carol/internal/field"
+)
+
+func testField(t *testing.T) *field.Field {
+	t.Helper()
+	f, err := dataset.Generate("miranda", "viscosity", dataset.Options{Nx: 32, Ny: 32, Nz: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSearchConverges(t *testing.T) {
+	f := testField(t)
+	for _, name := range []string{"szx", "sz3"} {
+		codec, err := codecs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pick an achievable target by probing mid-range.
+		probe, err := codec.Compress(f, compressor.AbsBound(f, 3e-3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := compressor.Ratio(f, probe)
+		res, err := Search(codec, f, target, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s: did not converge (achieved %g for %g in %d runs)",
+				name, res.Achieved, target, res.Runs)
+		}
+		rel := res.Achieved/target - 1
+		if rel < -0.06 || rel > 0.06 {
+			t.Fatalf("%s: achieved %g for target %g", name, res.Achieved, target)
+		}
+		if res.Runs < 2 {
+			t.Fatalf("%s: suspiciously few runs (%d)", name, res.Runs)
+		}
+		// The returned stream must be valid.
+		if _, err := codec.Decompress(res.Stream); err != nil {
+			t.Fatalf("%s: returned stream invalid: %v", name, err)
+		}
+	}
+}
+
+func TestSearchCostsManyRuns(t *testing.T) {
+	// The point of the comparison with CAROL: trial-and-error needs
+	// several full compressions.
+	f := testField(t)
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := codec.Compress(f, compressor.AbsBound(f, 1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := compressor.Ratio(f, probe)
+	res, err := Search(codec, f, target, Options{Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 3 {
+		t.Fatalf("tight-tolerance search used only %d runs", res.Runs)
+	}
+}
+
+func TestUnreachableTargetClamps(t *testing.T) {
+	f := testField(t)
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(codec, f, 1e9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("impossible target reported converged")
+	}
+	if res.RelEB != 0.5 { // clamped at RelHi default
+		t.Fatalf("expected clamp at RelHi, got %g", res.RelEB)
+	}
+	// Tiny target: clamps at RelLo.
+	res, err = Search(codec, f, 1.0000001, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelEB != 1e-6 {
+		t.Fatalf("expected clamp at RelLo, got %g", res.RelEB)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(codec, testField(t), 0, Options{}); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := Search(codec, nil, 10, Options{}); err == nil {
+		t.Fatal("nil field accepted")
+	}
+}
+
+func TestMaxItersRespected(t *testing.T) {
+	f := testField(t)
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(codec, f, 7.7, Options{Tolerance: 1e-9, MaxIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs > 5 {
+		t.Fatalf("MaxIters exceeded: %d runs", res.Runs)
+	}
+	if len(res.Stream) == 0 {
+		t.Fatal("no best-effort stream returned")
+	}
+}

@@ -1,0 +1,134 @@
+package gridsearch
+
+import (
+	"math"
+	"testing"
+
+	"carol/internal/bayesopt"
+	"carol/internal/rf"
+	"carol/internal/xrand"
+)
+
+func synthData(n int, seed uint64) ([][]float64, []float64) {
+	rng := xrand.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		y[i] = 2*a - b + 0.05*rng.Norm()
+	}
+	return X, y
+}
+
+func TestRandomConfigWithinGrid(t *testing.T) {
+	rng := xrand.New(1)
+	for i := 0; i < 200; i++ {
+		cfg := RandomConfig(rng)
+		if cfg.NEstimators < Grid.NEstimatorsMin || cfg.NEstimators > Grid.NEstimatorsMax {
+			t.Fatalf("NEstimators %d out of grid", cfg.NEstimators)
+		}
+		if (cfg.NEstimators-Grid.NEstimatorsMin)%Grid.NEstimatorsStep != 0 {
+			t.Fatalf("NEstimators %d off-grid", cfg.NEstimators)
+		}
+		if cfg.MaxDepth < Grid.MaxDepthMin || cfg.MaxDepth > Grid.MaxDepthMax {
+			t.Fatalf("MaxDepth %d out of grid", cfg.MaxDepth)
+		}
+		okSplit := false
+		for _, v := range Grid.MinSamplesSplit {
+			if cfg.MinSamplesSplit == v {
+				okSplit = true
+			}
+		}
+		if !okSplit {
+			t.Fatalf("MinSamplesSplit %d off-grid", cfg.MinSamplesSplit)
+		}
+	}
+}
+
+func TestSearchFindsWorkingConfig(t *testing.T) {
+	X, y := synthData(120, 2)
+	res, err := Search(X, y, 4, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 4 {
+		t.Fatalf("Evaluated = %d", res.Evaluated)
+	}
+	if res.Score == negInf || math.IsNaN(res.Score) {
+		t.Fatalf("Score = %g", res.Score)
+	}
+	// The winning config must train successfully on the full data.
+	if _, err := rf.Train(X, y, res.Config); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchRejectsZeroConfigs(t *testing.T) {
+	X, y := synthData(30, 3)
+	if _, err := Search(X, y, 0, 3, 1, 0); err == nil {
+		t.Fatal("zero configs accepted")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	X, y := synthData(80, 4)
+	a, err := Search(X, y, 3, 3, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(X, y, 3, 3, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config != b.Config || a.Score != b.Score {
+		t.Fatal("same-seed searches differ")
+	}
+}
+
+func TestBOSpaceConfigRoundTrip(t *testing.T) {
+	space := BOSpace()
+	if len(space) != 6 {
+		t.Fatalf("space has %d dims", len(space))
+	}
+	rng := xrand.New(5)
+	for i := 0; i < 100; i++ {
+		cfg := RandomConfig(rng)
+		v := ValuesFromConfig(cfg)
+		back, err := ConfigFromValues(v, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip changed config: %+v -> %+v", cfg, back)
+		}
+	}
+}
+
+func TestConfigFromValuesValidation(t *testing.T) {
+	if _, err := ConfigFromValues([]float64{1, 2}, 0); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestBOSpaceProducesValidConfigs(t *testing.T) {
+	// Every point the BO optimizer can emit must convert to a config that
+	// rf.Train accepts.
+	space := BOSpace()
+	o := bayesopt.New(space, 8)
+	X, y := synthData(40, 6)
+	for i := 0; i < 10; i++ {
+		v := o.Suggest()
+		cfg, err := ConfigFromValues(v, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.NEstimators = 3 // keep the test fast; validity is what matters
+		if _, err := rf.Train(X, y, cfg); err != nil {
+			t.Fatalf("BO-suggested config invalid: %+v: %v", cfg, err)
+		}
+		if err := o.Observe(v, -float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package huffman implements the canonical Huffman entropy stage used by the
+// SZ3 compressor reimplementation. Symbols are non-negative quantization
+// codes (uint32); the encoder emits a self-describing stream containing the
+// code-length table followed by the packed code words.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"carol/internal/bitstream"
+)
+
+// maxCodeLen caps code lengths so the decoder tables stay small. With
+// length-limited rebalancing this supports arbitrarily skewed inputs.
+const maxCodeLen = 32
+
+// ErrCorrupt is returned when a stream cannot be decoded.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+type node struct {
+	freq        uint64
+	symbol      uint32
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].symbol < h[j].symbol
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths computes Huffman code lengths for the given frequency map.
+func codeLengths(freqs map[uint32]uint64) map[uint32]uint {
+	lengths := make(map[uint32]uint, len(freqs))
+	switch len(freqs) {
+	case 0:
+		return lengths
+	case 1:
+		for s := range freqs {
+			lengths[s] = 1
+		}
+		return lengths
+	}
+	h := make(nodeHeap, 0, len(freqs))
+	for s, f := range freqs {
+		h = append(h, &node{freq: f, symbol: s})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{freq: a.freq + b.freq, symbol: min32(a.symbol, b.symbol), left: a, right: b})
+	}
+	root := h[0]
+	var walk func(n *node, depth uint)
+	walk = func(n *node, depth uint) {
+		if n.left == nil {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	// Length-limit: clamp and re-normalize so Kraft sum <= 1.
+	limitLengths(lengths)
+	return lengths
+}
+
+// limitLengths clamps code lengths to maxCodeLen while keeping the Kraft
+// inequality satisfied (a simplified Package-Merge style adjustment).
+func limitLengths(lengths map[uint32]uint) {
+	over := false
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	syms := sortedSymbols(lengths)
+	for _, s := range syms {
+		if lengths[s] > maxCodeLen {
+			lengths[s] = maxCodeLen
+		}
+	}
+	// kraft sum in units of 2^-maxCodeLen
+	var kraft uint64
+	for _, l := range lengths {
+		kraft += 1 << (maxCodeLen - l)
+	}
+	limit := uint64(1) << maxCodeLen
+	// Demote shortest codes until the sum fits.
+	for kraft > limit {
+		for _, s := range syms {
+			l := lengths[s]
+			if l < maxCodeLen {
+				lengths[s] = l + 1
+				kraft -= 1 << (maxCodeLen - l - 1)
+				if kraft <= limit {
+					break
+				}
+			}
+		}
+	}
+}
+
+// canonicalCodes assigns canonical code words given code lengths: symbols
+// sorted by (length, symbol) receive consecutive codes.
+func canonicalCodes(lengths map[uint32]uint) map[uint32]uint64 {
+	syms := sortedSymbols(lengths)
+	sort.Slice(syms, func(i, j int) bool {
+		li, lj := lengths[syms[i]], lengths[syms[j]]
+		if li != lj {
+			return li < lj
+		}
+		return syms[i] < syms[j]
+	})
+	codes := make(map[uint32]uint64, len(syms))
+	var code uint64
+	var prevLen uint
+	for _, s := range syms {
+		l := lengths[s]
+		code <<= (l - prevLen)
+		codes[s] = code
+		code++
+		prevLen = l
+	}
+	return codes
+}
+
+func sortedSymbols(lengths map[uint32]uint) []uint32 {
+	syms := make([]uint32, 0, len(lengths))
+	for s := range lengths {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	return syms
+}
+
+// Encode compresses the symbol sequence. The output stream embeds the code
+// table, so Decode needs no side information.
+func Encode(symbols []uint32) []byte {
+	freqs := make(map[uint32]uint64)
+	for _, s := range symbols {
+		freqs[s]++
+	}
+	lengths := codeLengths(freqs)
+	codes := canonicalCodes(lengths)
+
+	w := bitstream.NewWriter(len(symbols)/2 + 64)
+	// Header: #symbols in alphabet, #symbols in payload.
+	w.WriteBits(uint64(len(lengths)), 32)
+	w.WriteBits(uint64(len(symbols)), 32)
+	for _, s := range sortedSymbols(lengths) {
+		w.WriteBits(uint64(s), 32)
+		w.WriteBits(uint64(lengths[s]), 6)
+	}
+	for _, s := range symbols {
+		w.WriteBits(codes[s], lengths[s])
+	}
+	// Prefix the bit length so Decode can cap its reader.
+	bits := w.BitLen()
+	out := make([]byte, 8, 8+len(w.Bytes()))
+	for i := 0; i < 8; i++ {
+		out[i] = byte(bits >> (56 - 8*i))
+	}
+	return append(out, w.Bytes()...)
+}
+
+// EncodedSizeBits estimates the encoded payload size (excluding the table)
+// for the given symbols without building the full stream. The SECRE SZ3
+// surrogate uses the *absence* of this stage; the full compressor uses
+// Encode itself. Exposed for analysis and tests.
+func EncodedSizeBits(symbols []uint32) uint64 {
+	freqs := make(map[uint32]uint64)
+	for _, s := range symbols {
+		freqs[s]++
+	}
+	lengths := codeLengths(freqs)
+	var bits uint64
+	for s, f := range freqs {
+		bits += f * uint64(lengths[s])
+	}
+	return bits
+}
+
+// Decode reverses Encode.
+func Decode(stream []byte) ([]uint32, error) {
+	if len(stream) < 8 {
+		return nil, ErrCorrupt
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits = bits<<8 | uint64(stream[i])
+	}
+	r := bitstream.NewReader(stream[8:], bits)
+	nAlpha, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: header", ErrCorrupt)
+	}
+	nSyms, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: header", ErrCorrupt)
+	}
+	if nAlpha == 0 {
+		if nSyms != 0 {
+			return nil, ErrCorrupt
+		}
+		return []uint32{}, nil
+	}
+	// Each table entry consumes 38 bits and each payload symbol at least
+	// one; reject counts the stream cannot possibly back before allocating.
+	if nAlpha*38 > r.Remaining() || nSyms > r.Remaining() {
+		return nil, fmt.Errorf("%w: implausible symbol counts", ErrCorrupt)
+	}
+	lengths := make(map[uint32]uint, nAlpha)
+	for i := uint64(0); i < nAlpha; i++ {
+		s, err := r.ReadBits(32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: table", ErrCorrupt)
+		}
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return nil, fmt.Errorf("%w: table", ErrCorrupt)
+		}
+		if l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("%w: bad code length %d", ErrCorrupt, l)
+		}
+		lengths[uint32(s)] = uint(l)
+	}
+	codes := canonicalCodes(lengths)
+	// Build reverse map: (length, code) -> symbol.
+	type key struct {
+		len  uint
+		code uint64
+	}
+	rev := make(map[key]uint32, len(codes))
+	for s, c := range codes {
+		rev[key{lengths[s], c}] = s
+	}
+	// Cap the initial allocation: a corrupt header may claim billions of
+	// symbols; the slice grows naturally if the payload really is that big.
+	capHint := nSyms
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]uint32, 0, capHint)
+	for uint64(len(out)) < nSyms {
+		var code uint64
+		var l uint
+		found := false
+		for l < maxCodeLen+1 {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("%w: payload", ErrCorrupt)
+			}
+			code = code<<1 | uint64(b)
+			l++
+			if s, ok := rev[key{l, code}]; ok {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: no code matched", ErrCorrupt)
+		}
+	}
+	return out, nil
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

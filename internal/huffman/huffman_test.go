@@ -1,0 +1,227 @@
+package huffman
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"carol/internal/xrand"
+)
+
+func roundTrip(t *testing.T, symbols []uint32) []byte {
+	t.Helper()
+	enc := Encode(symbols)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(symbols) == 0 && len(dec) == 0 {
+		return enc
+	}
+	if !reflect.DeepEqual(symbols, dec) {
+		t.Fatalf("round trip mismatch: got %v, want %v", dec[:min(16, len(dec))], symbols[:min(16, len(symbols))])
+	}
+	return enc
+}
+
+func TestRoundTripEmpty(t *testing.T)  { roundTrip(t, []uint32{}) }
+func TestRoundTripSingle(t *testing.T) { roundTrip(t, []uint32{7}) }
+
+func TestRoundTripUniform(t *testing.T) {
+	roundTrip(t, []uint32{5, 5, 5, 5, 5, 5, 5, 5})
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	roundTrip(t, []uint32{0, 1, 0, 0, 1, 0, 1, 1, 0})
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	var s []uint32
+	for i := 0; i < 1000; i++ {
+		s = append(s, 42)
+	}
+	s = append(s, 1, 2, 3, 4, 5)
+	roundTrip(t, s)
+}
+
+func TestRoundTripLargeAlphabet(t *testing.T) {
+	rng := xrand.New(1)
+	s := make([]uint32, 5000)
+	for i := range s {
+		s[i] = uint32(rng.Intn(700))
+	}
+	roundTrip(t, s)
+}
+
+func TestSkewedInputCompresses(t *testing.T) {
+	// 99% one symbol: encoded size must be far below 32 bits/symbol.
+	rng := xrand.New(2)
+	s := make([]uint32, 20000)
+	for i := range s {
+		if rng.Float64() < 0.99 {
+			s[i] = 0
+		} else {
+			s[i] = uint32(rng.Intn(100) + 1)
+		}
+	}
+	enc := roundTrip(t, s)
+	raw := 4 * len(s)
+	if len(enc) > raw/4 {
+		t.Fatalf("skewed stream compressed to %d bytes, want < %d", len(enc), raw/4)
+	}
+}
+
+func TestEncodedSizeBitsMatchesEntropyOrder(t *testing.T) {
+	// Uniform over 256 symbols: expect ~8 bits/symbol.
+	rng := xrand.New(3)
+	s := make([]uint32, 8192)
+	for i := range s {
+		s[i] = uint32(rng.Intn(256))
+	}
+	bits := EncodedSizeBits(s)
+	perSym := float64(bits) / float64(len(s))
+	if perSym < 7.5 || perSym > 9 {
+		t.Fatalf("uniform-256 codes use %.2f bits/symbol, want ~8", perSym)
+	}
+}
+
+func TestEncodedSizeBitsSkewedBelowUniform(t *testing.T) {
+	skew := make([]uint32, 4096)
+	rng := xrand.New(4)
+	for i := range skew {
+		if rng.Float64() < 0.9 {
+			skew[i] = 0
+		} else {
+			skew[i] = uint32(rng.Intn(16))
+		}
+	}
+	uni := make([]uint32, 4096)
+	for i := range uni {
+		uni[i] = uint32(rng.Intn(16))
+	}
+	if EncodedSizeBits(skew) >= EncodedSizeBits(uni) {
+		t.Fatal("skewed stream did not encode smaller than uniform stream")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0, 0, 0, 0, 0, 0, 1, 0, 0xff}, // bit length claims more than present
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	enc := Encode([]uint32{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4})
+	trunc := enc[:len(enc)-2]
+	// Fix up the bit-length header to claim the original length.
+	if _, err := Decode(trunc); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestCanonicalCodesPrefixFree(t *testing.T) {
+	lengths := map[uint32]uint{0: 1, 1: 2, 2: 3, 3: 3}
+	codes := canonicalCodes(lengths)
+	for a, ca := range codes {
+		for b, cb := range codes {
+			if a == b {
+				continue
+			}
+			la, lb := lengths[a], lengths[b]
+			if la > lb {
+				continue
+			}
+			if cb>>(lb-la) == ca {
+				t.Fatalf("code of %d is a prefix of code of %d", a, b)
+			}
+		}
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	rng := xrand.New(5)
+	freqs := make(map[uint32]uint64)
+	for i := 0; i < 300; i++ {
+		freqs[uint32(i)] = uint64(rng.Intn(10000) + 1)
+	}
+	lengths := codeLengths(freqs)
+	var kraft float64
+	for _, l := range lengths {
+		kraft += math.Pow(2, -float64(l))
+	}
+	if kraft > 1+1e-9 {
+		t.Fatalf("Kraft sum %v > 1", kraft)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, n16 uint16, alpha8 uint8) bool {
+		rng := xrand.New(seed)
+		n := int(n16 % 2000)
+		alpha := int(alpha8%200) + 1
+		s := make([]uint32, n)
+		for i := range s {
+			s[i] = uint32(rng.Intn(alpha))
+		}
+		dec, err := Decode(Encode(s))
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(s) {
+			return false
+		}
+		for i := range s {
+			if dec[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := xrand.New(1)
+	s := make([]uint32, 1<<16)
+	for i := range s {
+		s[i] = uint32(rng.Intn(64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(s)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := xrand.New(1)
+	s := make([]uint32, 1<<16)
+	for i := range s {
+		s[i] = uint32(rng.Intn(64))
+	}
+	enc := Encode(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package knn implements an inverse-distance-weighted k-nearest-neighbour
+// regressor — the second alternative model (alongside package boost) for
+// the CAROL paper's "different machine learning models" future-work
+// direction. Features are standardized per dimension so the distance metric
+// is not dominated by large-magnitude features like the value range.
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config tunes the regressor.
+type Config struct {
+	// K is the neighbour count. Default 5 (clamped to the training size).
+	K int
+}
+
+// Model is a fitted k-NN regressor.
+type Model struct {
+	k     int
+	x     [][]float64 // standardized training inputs
+	y     []float64
+	mean  []float64
+	scale []float64
+}
+
+// Train stores the (standardized) training set.
+func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("knn: empty or mismatched training data")
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 5
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	dims := len(X[0])
+	m := &Model{k: k, y: append([]float64(nil), y...), mean: make([]float64, dims), scale: make([]float64, dims)}
+	for _, row := range X {
+		if len(row) != dims {
+			return nil, errors.New("knn: ragged training rows")
+		}
+		for d, v := range row {
+			m.mean[d] += v
+		}
+	}
+	for d := range m.mean {
+		m.mean[d] /= float64(len(X))
+	}
+	for _, row := range X {
+		for d, v := range row {
+			dv := v - m.mean[d]
+			m.scale[d] += dv * dv
+		}
+	}
+	for d := range m.scale {
+		m.scale[d] = math.Sqrt(m.scale[d] / float64(len(X)))
+		if m.scale[d] == 0 {
+			m.scale[d] = 1
+		}
+	}
+	m.x = make([][]float64, len(X))
+	for i, row := range X {
+		m.x[i] = m.standardize(row)
+	}
+	return m, nil
+}
+
+func (m *Model) standardize(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for d, v := range row {
+		out[d] = (v - m.mean[d]) / m.scale[d]
+	}
+	return out
+}
+
+// Predict returns the inverse-distance-weighted mean of the k nearest
+// training targets.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.mean) {
+		return 0, fmt.Errorf("knn: predict with %d features, trained on %d", len(x), len(m.mean))
+	}
+	q := m.standardize(x)
+	type hit struct {
+		d2 float64
+		y  float64
+	}
+	hits := make([]hit, len(m.x))
+	for i, row := range m.x {
+		var d2 float64
+		for d := range row {
+			dv := row[d] - q[d]
+			d2 += dv * dv
+		}
+		hits[i] = hit{d2, m.y[i]}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].d2 < hits[j].d2 })
+	var num, den float64
+	for _, h := range hits[:m.k] {
+		w := 1 / (math.Sqrt(h.d2) + 1e-9)
+		num += w * h.y
+		den += w
+	}
+	return num / den, nil
+}
+
+// K returns the neighbour count in effect.
+func (m *Model) K() int { return m.k }

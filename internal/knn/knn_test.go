@@ -1,0 +1,99 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"carol/internal/xrand"
+)
+
+func synthData(n int, seed uint64) ([][]float64, []float64) {
+	rng := xrand.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b * 1000} // deliberately mismatched scales
+		y[i] = 2*a + b
+	}
+	return X, y
+}
+
+func TestLearnsWithStandardization(t *testing.T) {
+	X, y := synthData(800, 1)
+	m, err := Train(X, y, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teX, teY := synthData(100, 2)
+	var mse float64
+	for i := range teX {
+		p, err := m.Predict(teX[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p - teY[i]
+		mse += d * d
+	}
+	mse /= float64(len(teX))
+	if mse > 0.01 {
+		t.Fatalf("MSE %g: standardization or neighbour logic broken", mse)
+	}
+}
+
+func TestExactNeighborDominates(t *testing.T) {
+	X := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	y := []float64{10, 20, 30, 40}
+	m, err := Train(X, y, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Predict([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-20) > 0.5 {
+		t.Fatalf("exact-match prediction %g, want ~20", p)
+	}
+}
+
+func TestKClamping(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []float64{1, 2}
+	m, err := Train(X, y, Config{K: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 2 {
+		t.Fatalf("K = %d", m.K())
+	}
+}
+
+func TestConstantFeatureNoNaN(t *testing.T) {
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}}
+	y := []float64{1, 2, 3}
+	m, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Predict([]float64{2, 5})
+	if err != nil || math.IsNaN(p) {
+		t.Fatalf("constant-feature predict = %g, %v", p, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, []float64{1, 2}, Config{}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	m, err := Train([][]float64{{1}, {2}}, []float64{1, 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+}

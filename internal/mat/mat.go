@@ -1,0 +1,90 @@
+// Package mat provides the small dense linear-algebra kernels the Gaussian
+// process in package bayesopt needs: Cholesky factorization and triangular
+// solves for symmetric positive-definite systems.
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPD is returned when a matrix is not positive definite.
+var ErrNotPD = errors.New("mat: matrix not positive definite")
+
+// Cholesky computes the lower-triangular L with L Lᵀ = A for a symmetric
+// positive-definite A (given as rows). A is not modified.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		if len(a[i]) != n {
+			return nil, errors.New("mat: non-square matrix")
+		}
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPD
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveChol solves A x = b given the Cholesky factor L of A, via forward
+// then backward substitution.
+func SolveChol(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	// Forward: L z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * z[k]
+		}
+		z[i] = sum / l[i][i]
+	}
+	// Backward: Lᵀ x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// ForwardSolve solves L z = b for lower-triangular L.
+func ForwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * z[k]
+		}
+		z[i] = sum / l[i][i]
+	}
+	return z
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

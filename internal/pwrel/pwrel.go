@@ -1,0 +1,118 @@
+// Package pwrel adds point-wise relative error bounds on top of any
+// absolute-error codec, via the standard logarithmic-transform technique
+// the SZ family uses for its PW_REL mode: compressing log|v| under an
+// absolute bound of log(1+rel) guarantees |v' - v| <= rel*|v| for every
+// sample. Signs are carried in a separate bitmap; zeros (and denormals
+// below a floor) are restored exactly.
+package pwrel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+)
+
+// zeroFloor is the magnitude below which samples are treated as exact
+// zeros: the log transform cannot represent 0 and scientific data treats
+// such values as padding anyway.
+const zeroFloor = 1e-30
+
+// Compress encodes f so every reconstructed sample satisfies
+// |v' - v| <= rel*|v| (and exact restoration of zeros/signs).
+//
+// Layout: u32 sign/zero bitmap length, bitmap (2 bits per sample:
+// zero flag, sign flag), then the wrapped codec's stream over log|v|.
+func Compress(codec compressor.Codec, f *field.Field, rel float64) ([]byte, error) {
+	if !(rel > 0) || rel >= 1 {
+		return nil, fmt.Errorf("pwrel: relative bound %g outside (0, 1)", rel)
+	}
+	if err := compressor.ValidateArgs(f, rel); err != nil {
+		return nil, err
+	}
+	logs := field.New(f.Name+"/log", f.Nx, f.Ny, f.Nz)
+	bitmap := make([]byte, (f.Len()*2+7)/8)
+	setBit := func(i int) { bitmap[i/8] |= 1 << (i % 8) }
+	for i, v := range f.Data {
+		a := math.Abs(float64(v))
+		if a < zeroFloor {
+			setBit(2 * i) // zero flag
+			logs.Data[i] = 0
+			continue
+		}
+		if v < 0 {
+			setBit(2*i + 1) // sign flag
+		}
+		logs.Data[i] = float32(math.Log(a))
+	}
+	// |log v' - log v| <= eb  =>  v'/v in [e^-eb, e^eb]; choose eb so that
+	// e^eb - 1 <= rel (the tighter side).
+	eb := math.Log1p(rel)
+	// Guard against float32 storage of the log values eating the margin.
+	eb *= 0.95
+	inner, err := codec.Compress(logs, eb)
+	if err != nil {
+		return nil, fmt.Errorf("pwrel: inner compress: %w", err)
+	}
+	out := make([]byte, 4, 4+len(bitmap)+len(inner))
+	binary.LittleEndian.PutUint32(out, uint32(len(bitmap)))
+	out = append(out, bitmap...)
+	return append(out, inner...), nil
+}
+
+// Decompress reverses Compress.
+func Decompress(codec compressor.Codec, stream []byte) (*field.Field, error) {
+	if len(stream) < 4 {
+		return nil, errors.New("pwrel: short stream")
+	}
+	bmLen := int(binary.LittleEndian.Uint32(stream))
+	if bmLen < 0 || 4+bmLen > len(stream) {
+		return nil, errors.New("pwrel: bitmap length out of range")
+	}
+	bitmap := stream[4 : 4+bmLen]
+	logs, err := codec.Decompress(stream[4+bmLen:])
+	if err != nil {
+		return nil, fmt.Errorf("pwrel: inner decompress: %w", err)
+	}
+	if (logs.Len()*2+7)/8 != bmLen {
+		return nil, errors.New("pwrel: bitmap does not match field size")
+	}
+	getBit := func(i int) bool { return bitmap[i/8]&(1<<(i%8)) != 0 }
+	f := field.New("pwrel", logs.Nx, logs.Ny, logs.Nz)
+	for i, lv := range logs.Data {
+		if getBit(2 * i) {
+			f.Data[i] = 0
+			continue
+		}
+		v := math.Exp(float64(lv))
+		if getBit(2*i + 1) {
+			v = -v
+		}
+		f.Data[i] = float32(v)
+	}
+	return f, nil
+}
+
+// CheckPointwise verifies |g - f| <= rel*|f| at every sample (zeros must be
+// exact), with a small slack for float32 storage rounding.
+func CheckPointwise(f, g *field.Field, rel float64) error {
+	if f.Len() != g.Len() {
+		return errors.New("pwrel: length mismatch")
+	}
+	for i := range f.Data {
+		a, b := float64(f.Data[i]), float64(g.Data[i])
+		if math.Abs(a) < zeroFloor {
+			if b != 0 {
+				return fmt.Errorf("pwrel: zero sample %d restored as %g", i, b)
+			}
+			continue
+		}
+		if math.Abs(b-a) > rel*math.Abs(a)*(1+1e-5)+math.Abs(a)*1e-6 {
+			return fmt.Errorf("pwrel: sample %d: |%g - %g| > %g%%", i, b, a, 100*rel)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package pwrel
+
+import (
+	"math"
+	"testing"
+
+	"carol/internal/codecs"
+	"carol/internal/field"
+	"carol/internal/xrand"
+)
+
+// dynamicField spans many decades with mixed signs and exact zeros — the
+// regime point-wise relative bounds exist for.
+func dynamicField(n int, seed uint64) *field.Field {
+	rng := xrand.New(seed)
+	f := field.New("dyn", n, 1, 1)
+	for i := range f.Data {
+		switch {
+		case rng.Float64() < 0.05:
+			f.Data[i] = 0
+		default:
+			mag := math.Pow(10, rng.Range(-6, 6))
+			if rng.Float64() < 0.5 {
+				mag = -mag
+			}
+			f.Data[i] = float32(mag)
+		}
+	}
+	return f
+}
+
+func TestPointwiseBoundAllCodecs(t *testing.T) {
+	f := dynamicField(4000, 1)
+	for _, name := range codecs.ExtendedNames {
+		codec, err := codecs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rel := range []float64{1e-1, 1e-2, 1e-3} {
+			stream, err := Compress(codec, f, rel)
+			if err != nil {
+				t.Fatalf("%s rel %g: %v", name, rel, err)
+			}
+			g, err := Decompress(codec, stream)
+			if err != nil {
+				t.Fatalf("%s rel %g: %v", name, rel, err)
+			}
+			if err := CheckPointwise(f, g, rel); err != nil {
+				t.Fatalf("%s rel %g: %v", name, rel, err)
+			}
+		}
+	}
+}
+
+func TestSignsAndZerosExact(t *testing.T) {
+	f := field.FromData("sz", 6, 1, 1, []float32{0, -1.5, 2.5, 0, -1e-8 * 0, 3e5})
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Compress(codec, f, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decompress(codec, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if f.Data[i] == 0 && g.Data[i] != 0 {
+			t.Fatalf("zero at %d became %g", i, g.Data[i])
+		}
+		if (f.Data[i] < 0) != (g.Data[i] < 0) {
+			t.Fatalf("sign flip at %d: %g -> %g", i, f.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestHugeDynamicRangeBeatsAbsolute(t *testing.T) {
+	// The point of PW_REL: with 12 decades of dynamic range, an absolute
+	// bound tight enough for the small values would barely compress; the
+	// relative mode compresses well AND protects small values.
+	f := dynamicField(8000, 2)
+	codec, err := codecs.ByName("szp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Compress(codec, f, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(f.SizeBytes()) / float64(len(stream)); ratio < 1.2 {
+		t.Fatalf("pwrel ratio only %g", ratio)
+	}
+	g, err := Decompress(codec, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small values must keep their relative accuracy.
+	for i, v := range f.Data {
+		if v != 0 && math.Abs(float64(v)) < 1e-3 {
+			relErr := math.Abs(float64(g.Data[i])-float64(v)) / math.Abs(float64(v))
+			if relErr > 1.1e-2 {
+				t.Fatalf("small value %g lost accuracy: rel err %g", v, relErr)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dynamicField(100, 3)
+	for _, rel := range []float64{0, -1, 1, 2} {
+		if _, err := Compress(codec, f, rel); err == nil {
+			t.Errorf("rel %g accepted", rel)
+		}
+	}
+	if _, err := Decompress(codec, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := Decompress(codec, []byte{255, 255, 255, 255, 0}); err == nil {
+		t.Error("bad bitmap length accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package rf
+
+import (
+	"errors"
+	"math"
+
+	"carol/internal/xrand"
+)
+
+// CrossValidate scores a configuration with k-fold cross-validation and
+// returns the mean negative MSE across folds (higher is better, 0 is
+// perfect). This is the scoring function FXRZ's randomized grid search and
+// CAROL's Bayesian optimizer both maximize.
+func CrossValidate(X [][]float64, y []float64, cfg Config, k int, seed uint64) (float64, error) {
+	if k < 2 {
+		return 0, errors.New("rf: k-fold needs k >= 2")
+	}
+	if len(X) < k {
+		return 0, errors.New("rf: fewer samples than folds")
+	}
+	perm := xrand.New(seed).Perm(len(X))
+	foldOf := make([]int, len(X))
+	for i, p := range perm {
+		foldOf[p] = i % k
+	}
+	var totalScore float64
+	for fold := 0; fold < k; fold++ {
+		var trX [][]float64
+		var trY []float64
+		var teX [][]float64
+		var teY []float64
+		for i := range X {
+			if foldOf[i] == fold {
+				teX = append(teX, X[i])
+				teY = append(teY, y[i])
+			} else {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		f, err := Train(trX, trY, cfg)
+		if err != nil {
+			return 0, err
+		}
+		var mse float64
+		for i := range teX {
+			p, err := f.Predict(teX[i])
+			if err != nil {
+				return 0, err
+			}
+			d := p - teY[i]
+			mse += d * d
+		}
+		if len(teX) > 0 {
+			mse /= float64(len(teX))
+		}
+		totalScore += -mse
+	}
+	score := totalScore / float64(k)
+	if math.IsNaN(score) {
+		return 0, errors.New("rf: NaN cross-validation score")
+	}
+	return score, nil
+}

@@ -1,0 +1,329 @@
+// Package rf implements the random-forest regression model both FXRZ and
+// CAROL train to map (data features, target compression ratio) to a
+// predicted error bound: an ensemble of CART regression trees grown on
+// bootstrap resamples with per-split feature subsetting, governed by the six
+// hyper-parameters the FXRZ paper searches over (§5.3 of the CAROL paper).
+package rf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"carol/internal/xrand"
+)
+
+// MaxFeatures selects how many candidate features each split considers.
+type MaxFeatures int
+
+const (
+	// MaxFeaturesAuto considers every feature at every split.
+	MaxFeaturesAuto MaxFeatures = iota
+	// MaxFeaturesSqrt considers ceil(sqrt(d)) random features per split.
+	MaxFeaturesSqrt
+)
+
+func (m MaxFeatures) String() string {
+	if m == MaxFeaturesSqrt {
+		return "sqrt"
+	}
+	return "auto"
+}
+
+// Config holds the forest hyper-parameters (names and ranges follow FXRZ).
+type Config struct {
+	NEstimators     int         // number of trees [90, 1200]
+	MaxFeatures     MaxFeatures // features per split {auto, sqrt}
+	MaxDepth        int         // maximum tree depth [10, 110]
+	MinSamplesSplit int         // {2, 5, 10}
+	MinSamplesLeaf  int         // {1, 2, 4}
+	Bootstrap       bool        // resample with replacement
+	Seed            uint64      // RNG seed for bootstrap + feature choice
+}
+
+// DefaultConfig is a reasonable untuned starting point.
+func DefaultConfig() Config {
+	return Config{
+		NEstimators:     100,
+		MaxFeatures:     MaxFeaturesAuto,
+		MaxDepth:        30,
+		MinSamplesSplit: 2,
+		MinSamplesLeaf:  1,
+		Bootstrap:       true,
+		Seed:            1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.NEstimators < 1 {
+		return fmt.Errorf("rf: NEstimators %d < 1", c.NEstimators)
+	}
+	if c.MaxDepth < 1 {
+		return fmt.Errorf("rf: MaxDepth %d < 1", c.MaxDepth)
+	}
+	if c.MinSamplesSplit < 2 {
+		return fmt.Errorf("rf: MinSamplesSplit %d < 2", c.MinSamplesSplit)
+	}
+	if c.MinSamplesLeaf < 1 {
+		return fmt.Errorf("rf: MinSamplesLeaf %d < 1", c.MinSamplesLeaf)
+	}
+	return nil
+}
+
+// node is one decision-tree node, stored flat.
+type node struct {
+	feature int     // split feature, -1 for leaf
+	thresh  float64 // go left if x[feature] <= thresh
+	left    int32
+	right   int32
+	value   float64 // leaf prediction
+	gain    float64 // weighted variance reduction achieved by the split
+}
+
+type tree struct {
+	nodes []node
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.thresh {
+			i = int(n.left)
+		} else {
+			i = int(n.right)
+		}
+	}
+}
+
+// Forest is a trained random-forest regressor.
+type Forest struct {
+	trees []tree
+	dims  int
+	cfg   Config
+}
+
+// Config returns the hyper-parameters the forest was trained with.
+func (f *Forest) Config() Config { return f.cfg }
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Train grows a forest on the rows of X (features) and targets y.
+func Train(X [][]float64, y []float64, cfg Config) (*Forest, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("rf: empty or mismatched training data")
+	}
+	dims := len(X[0])
+	for i, row := range X {
+		if len(row) != dims {
+			return nil, fmt.Errorf("rf: row %d has %d features, want %d", i, len(row), dims)
+		}
+	}
+	f := &Forest{trees: make([]tree, cfg.NEstimators), dims: dims, cfg: cfg}
+	rng := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	for ti := range f.trees {
+		idx := make([]int, len(X))
+		if cfg.Bootstrap {
+			for i := range idx {
+				idx[i] = rng.Intn(len(X))
+			}
+		} else {
+			for i := range idx {
+				idx[i] = i
+			}
+		}
+		b := &builder{
+			X: X, y: y, cfg: cfg, dims: dims,
+			rng: xrand.New(rng.Uint64()),
+		}
+		b.grow(idx, 0)
+		f.trees[ti] = tree{nodes: b.nodes}
+	}
+	return f, nil
+}
+
+// Predict returns the forest's prediction for one feature row.
+func (f *Forest) Predict(x []float64) (float64, error) {
+	if len(x) != f.dims {
+		return 0, fmt.Errorf("rf: predict with %d features, trained on %d", len(x), f.dims)
+	}
+	var sum float64
+	for i := range f.trees {
+		sum += f.trees[i].predict(x)
+	}
+	return sum / float64(len(f.trees)), nil
+}
+
+// FeatureImportance returns the normalized variance-reduction importance of
+// each input feature, aggregated over every split in the forest. The values
+// sum to 1 (or are all zero for a forest of pure leaves). FXRZ justified its
+// five features empirically; this exposes the same diagnostic.
+func (f *Forest) FeatureImportance() []float64 {
+	imp := make([]float64, f.dims)
+	var total float64
+	for _, t := range f.trees {
+		for _, n := range t.nodes {
+			if n.feature >= 0 {
+				imp[n.feature] += n.gain
+				total += n.gain
+			}
+		}
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// builder grows a single tree.
+type builder struct {
+	X     [][]float64
+	y     []float64
+	cfg   Config
+	dims  int
+	rng   *xrand.Source
+	nodes []node
+}
+
+func (b *builder) leaf(idx []int) int32 {
+	var sum float64
+	for _, i := range idx {
+		sum += b.y[i]
+	}
+	b.nodes = append(b.nodes, node{feature: -1, value: sum / float64(len(idx))})
+	return int32(len(b.nodes) - 1)
+}
+
+// grow recursively builds the subtree over idx and returns its node index.
+func (b *builder) grow(idx []int, depth int) int32 {
+	if depth >= b.cfg.MaxDepth || len(idx) < b.cfg.MinSamplesSplit || pureTargets(b.y, idx) {
+		return b.leaf(idx)
+	}
+	feat, thresh, childScore, ok := b.bestSplit(idx)
+	if !ok {
+		return b.leaf(idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		return b.leaf(idx)
+	}
+	// Importance: weighted variance reduction achieved by this split.
+	gain := (targetVariance(b.y, idx) - childScore) * float64(len(idx))
+	if gain < 0 {
+		gain = 0
+	}
+	// Reserve this node's slot before growing children.
+	me := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{feature: feat, thresh: thresh, gain: gain})
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.nodes[me].left = l
+	b.nodes[me].right = r
+	return me
+}
+
+// targetVariance computes the variance of y over idx.
+func targetVariance(y []float64, idx []int) float64 {
+	var sum, sq float64
+	for _, i := range idx {
+		sum += y[i]
+		sq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	m := sum / n
+	return sq/n - m*m
+}
+
+func pureTargets(y []float64, idx []int) bool {
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// maxSplitCandidates caps the thresholds evaluated per feature; above this
+// the sorted values are subsampled evenly (keeps training O(n log n)-ish).
+const maxSplitCandidates = 32
+
+// bestSplit finds the (feature, threshold) minimizing the weighted child
+// variance over the candidate feature subset, returning that variance too.
+func (b *builder) bestSplit(idx []int) (feat int, thresh, score float64, ok bool) {
+	nFeat := b.dims
+	if b.cfg.MaxFeatures == MaxFeaturesSqrt {
+		nFeat = int(math.Ceil(math.Sqrt(float64(b.dims))))
+	}
+	feats := b.rng.Perm(b.dims)[:nFeat]
+
+	bestScore := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, ft := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, b.X[i][ft])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints between distinct consecutive
+		// values, evenly subsampled if too many.
+		step := 1
+		if len(vals) > maxSplitCandidates {
+			step = len(vals) / maxSplitCandidates
+		}
+		for vi := 0; vi+step < len(vals); vi += step {
+			a, c := vals[vi], vals[vi+step]
+			if a == c {
+				continue
+			}
+			t := (a + c) / 2
+			s := b.splitScore(idx, ft, t)
+			if s < bestScore {
+				bestScore = s
+				feat, thresh, ok = ft, t, true
+			}
+		}
+	}
+	return feat, thresh, bestScore, ok
+}
+
+// splitScore computes the weighted variance of the two children.
+func (b *builder) splitScore(idx []int, feat int, thresh float64) float64 {
+	var nL, nR float64
+	var sL, sR, qL, qR float64
+	for _, i := range idx {
+		v := b.y[i]
+		if b.X[i][feat] <= thresh {
+			nL++
+			sL += v
+			qL += v * v
+		} else {
+			nR++
+			sR += v
+			qR += v * v
+		}
+	}
+	if nL == 0 || nR == 0 {
+		return math.Inf(1)
+	}
+	varL := qL/nL - (sL/nL)*(sL/nL)
+	varR := qR/nR - (sR/nR)*(sR/nR)
+	return (nL*varL + nR*varR) / (nL + nR)
+}

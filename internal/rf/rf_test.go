@@ -1,0 +1,346 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carol/internal/xrand"
+)
+
+// synthData builds a smooth regression problem y = g(x) + noise.
+func synthData(n int, seed uint64, noise float64) ([][]float64, []float64) {
+	rng := xrand.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b, c}
+		y[i] = 3*a - 2*b*b + math.Sin(4*c) + noise*rng.Norm()
+	}
+	return X, y
+}
+
+func mse(f *Forest, X [][]float64, y []float64, t *testing.T) float64 {
+	t.Helper()
+	var s float64
+	for i := range X {
+		p, err := f.Predict(X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p - y[i]
+		s += d * d
+	}
+	return s / float64(len(X))
+}
+
+func TestTrainPredictLearnsSignal(t *testing.T) {
+	X, y := synthData(600, 1, 0.01)
+	teX, teY := synthData(200, 2, 0.01)
+	cfg := DefaultConfig()
+	cfg.NEstimators = 60
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mse(f, teX, teY, t); got > 0.05 {
+		t.Fatalf("test MSE %g, want < 0.05", got)
+	}
+}
+
+func TestForestBeatsSingleTree(t *testing.T) {
+	X, y := synthData(400, 3, 0.3)
+	teX, teY := synthData(200, 4, 0.0)
+	one := DefaultConfig()
+	one.NEstimators = 1
+	one.Seed = 9
+	many := DefaultConfig()
+	many.NEstimators = 80
+	many.Seed = 9
+	f1, err := Train(X, y, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := Train(X, y, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse(fn, teX, teY, t) >= mse(f1, teX, teY, t) {
+		t.Fatalf("ensemble (%g) not better than single tree (%g)",
+			mse(fn, teX, teY, t), mse(f1, teX, teY, t))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	X, y := synthData(200, 5, 0.1)
+	cfg := DefaultConfig()
+	cfg.NEstimators = 10
+	f1, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.5, 0.7}
+	p1, _ := f1.Predict(probe)
+	p2, _ := f2.Predict(probe)
+	if p1 != p2 {
+		t.Fatalf("same seed gave different forests: %g vs %g", p1, p2)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X, _ := synthData(50, 6, 0)
+	y := make([]float64, len(X))
+	for i := range y {
+		y[i] = 42
+	}
+	f, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Predict([]float64{0.1, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 42 {
+		t.Fatalf("constant target predicted %g", p)
+	}
+}
+
+func TestMaxDepthLimitsStructure(t *testing.T) {
+	X, y := synthData(500, 7, 0)
+	shallow := DefaultConfig()
+	shallow.MaxDepth = 1
+	shallow.NEstimators = 5
+	deep := DefaultConfig()
+	deep.MaxDepth = 20
+	deep.NEstimators = 5
+	fs, err := Train(X, y, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := Train(X, y, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teX, teY := synthData(100, 8, 0)
+	if mse(fd, teX, teY, t) >= mse(fs, teX, teY, t) {
+		t.Fatal("depth-20 forest not better than stumps on smooth signal")
+	}
+}
+
+func TestMinSamplesLeafRespected(t *testing.T) {
+	// With MinSamplesLeaf = n/2 the tree can barely split; prediction
+	// collapses toward the mean.
+	X, y := synthData(60, 9, 0)
+	cfg := DefaultConfig()
+	cfg.MinSamplesLeaf = 30
+	cfg.NEstimators = 3
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All predictions should be in a narrow band around the global mean.
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	p, _ := f.Predict([]float64{0.9, 0.1, 0.5})
+	if math.Abs(p-mean) > 2 {
+		t.Fatalf("huge-leaf forest predicted %g, mean %g", p, mean)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	X, y := synthData(20, 10, 0)
+	bad := []Config{
+		{NEstimators: 0, MaxDepth: 5, MinSamplesSplit: 2, MinSamplesLeaf: 1},
+		{NEstimators: 5, MaxDepth: 0, MinSamplesSplit: 2, MinSamplesLeaf: 1},
+		{NEstimators: 5, MaxDepth: 5, MinSamplesSplit: 1, MinSamplesLeaf: 1},
+		{NEstimators: 5, MaxDepth: 5, MinSamplesSplit: 2, MinSamplesLeaf: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(X, y, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, []float64{1, 2}, DefaultConfig()); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestPredictDimCheck(t *testing.T) {
+	X, y := synthData(30, 11, 0)
+	f, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong-dims predict accepted")
+	}
+}
+
+func TestMaxFeaturesString(t *testing.T) {
+	if MaxFeaturesAuto.String() != "auto" || MaxFeaturesSqrt.String() != "sqrt" {
+		t.Fatal("MaxFeatures String broken")
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	// Target depends strongly on feature 0, weakly on 1, not at all on 2.
+	rng := xrand.New(21)
+	X := make([][]float64, 500)
+	y := make([]float64, 500)
+	for i := range X {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b, c}
+		y[i] = 10*a + 0.5*b
+	}
+	cfg := DefaultConfig()
+	cfg.NEstimators = 20
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance dims %d", len(imp))
+	}
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", imp)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %g", sum)
+	}
+	if !(imp[0] > imp[1] && imp[1] > imp[2]) {
+		t.Fatalf("importance ordering wrong: %v", imp)
+	}
+	if imp[0] < 0.7 {
+		t.Fatalf("dominant feature importance only %g", imp[0])
+	}
+}
+
+func TestFeatureImportanceConstantTarget(t *testing.T) {
+	X, _ := synthData(30, 22, 0)
+	y := make([]float64, len(X))
+	f, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.FeatureImportance() {
+		if v != 0 {
+			t.Fatalf("pure-leaf forest has importance %v", v)
+		}
+	}
+}
+
+func TestCrossValidateOrdersConfigs(t *testing.T) {
+	X, y := synthData(300, 12, 0.05)
+	good := DefaultConfig()
+	good.NEstimators = 40
+	bad := DefaultConfig()
+	bad.NEstimators = 1
+	bad.MaxDepth = 1
+	sg, err := CrossValidate(X, y, good, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := CrossValidate(X, y, bad, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg <= sb {
+		t.Fatalf("CV preferred the bad config: good %g, bad %g", sg, sb)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	X, y := synthData(10, 13, 0)
+	if _, err := CrossValidate(X, y, DefaultConfig(), 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(X[:3], y[:3], DefaultConfig(), 5, 1); err == nil {
+		t.Error("fewer samples than folds accepted")
+	}
+}
+
+// Property: predictions always lie within the range of training targets
+// (regression trees average leaf targets, so this is invariant).
+func TestQuickPredictionWithinTargetRange(t *testing.T) {
+	fn := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := rng.Intn(100) + 20
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = []float64{rng.Float64(), rng.Float64()}
+			y[i] = rng.Range(-100, 100)
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.NEstimators = 5
+		cfg.Seed = seed
+		f, err := Train(X, y, cfg)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			p, err := f.Predict([]float64{rng.Float64(), rng.Float64()})
+			if err != nil || p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	X, y := synthData(1000, 1, 0.1)
+	cfg := DefaultConfig()
+	cfg.NEstimators = 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	X, y := synthData(1000, 1, 0.1)
+	cfg := DefaultConfig()
+	cfg.NEstimators = 100
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{0.5, 0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Predict(probe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package secre reimplements the SECRE surrogate-based compression-ratio
+// estimation framework (Khan et al., HiPC 2023), which CAROL uses as its
+// training-data generator (core contribution 1, §5.1 of the CAROL paper).
+//
+// For each supported compressor, SECRE estimates the compression ratio a
+// full run would achieve by (a) sampling a small fraction of the input and
+// (b) running only a subset of the compressor's pipeline stages on the
+// sample (Table 1 of the paper):
+//
+//	SZx:   block-wise sampling, full delta encoding of sampled blocks
+//	ZFP:   block-wise sampling, full transform+embedded coding of samples
+//	SZ3:   point-wise strided sampling, last interpolation level only,
+//	       NO Huffman stage, NO Zstd stage
+//	SPERR: chunk-wise sampling, wavelet transform + SPECK coding,
+//	       NO outlier pass, NO Zstd stage
+//
+// The skipped stages are exactly what makes the SZ3/SPERR estimates biased
+// (tens of percent) while SZx/ZFP stay within ~1%; CAROL's calibration
+// (package calib) corrects that bias.
+package secre
+
+import (
+	"fmt"
+	"math"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/sperr"
+	"carol/internal/sz3"
+	"carol/internal/szp"
+	"carol/internal/szx"
+	"carol/internal/zfp"
+)
+
+// Options tunes the sampling aggressiveness of the surrogates. The zero
+// value selects the paper's defaults, adapted down when a field is too small
+// to yield a stable sample (the paper's datasets are 512^3-scale; see
+// DESIGN.md §2).
+type Options struct {
+	// SZxBlockEvery keeps one 128-sample block of every N. Default 128.
+	SZxBlockEvery int
+	// ZFPBlockEvery keeps one 4^d block of every N along each dimension.
+	// Default 8 (1/64 of a 2D field, 1/512 of 3D).
+	ZFPBlockEvery int
+	// SZ3Stride is the point-wise sampling stride. Default 5 (the paper's).
+	SZ3Stride int
+	// SPERRChunkSize and SPERRChunkEvery control chunk sampling: chunks of
+	// SPERRChunkSize per dimension, one of every SPERRChunkEvery. Defaults
+	// 32 and 4.
+	SPERRChunkSize  int
+	SPERRChunkEvery int
+	// MinSampledBlocks is the minimum number of blocks the block-wise
+	// surrogates aim to sample; Every is reduced for small inputs so the
+	// estimate does not hang off one or two blocks. Default 16.
+	MinSampledBlocks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SZxBlockEvery <= 0 {
+		o.SZxBlockEvery = 128
+	}
+	if o.ZFPBlockEvery <= 0 {
+		o.ZFPBlockEvery = 8
+	}
+	if o.SZ3Stride <= 0 {
+		o.SZ3Stride = 5
+	}
+	if o.SPERRChunkSize <= 0 {
+		o.SPERRChunkSize = 32
+	}
+	if o.SPERRChunkEvery <= 0 {
+		o.SPERRChunkEvery = 4
+	}
+	if o.MinSampledBlocks <= 0 {
+		o.MinSampledBlocks = 16
+	}
+	return o
+}
+
+// Estimator is a SECRE surrogate for one compressor.
+type Estimator struct {
+	name string
+	opts Options
+}
+
+var _ compressor.Estimator = (*Estimator)(nil)
+
+// New returns the surrogate for the named compressor
+// ("szx", "zfp", "sz3", "sperr" or the extension codec "szp").
+func New(name string, opts Options) (*Estimator, error) {
+	switch name {
+	case "szx", "zfp", "sz3", "sperr", "szp":
+		return &Estimator{name: name, opts: opts.withDefaults()}, nil
+	default:
+		return nil, fmt.Errorf("secre: no surrogate for compressor %q", name)
+	}
+}
+
+// Name implements compressor.Estimator.
+func (e *Estimator) Name() string { return e.name }
+
+// EstimateRatio implements compressor.Estimator.
+func (e *Estimator) EstimateRatio(f *field.Field, eb float64) (float64, error) {
+	if err := compressor.ValidateArgs(f, eb); err != nil {
+		return 0, err
+	}
+	switch e.name {
+	case "szx":
+		return e.estimateSZx(f, eb)
+	case "zfp":
+		return e.estimateZFP(f, eb)
+	case "sz3":
+		return e.estimateSZ3(f, eb)
+	case "szp":
+		return e.estimateSZP(f, eb)
+	default:
+		return e.estimateSPERR(f, eb)
+	}
+}
+
+// estimateSZP samples one 32-sample block of every SZxBlockEvery (szp and
+// szx share the delta-family sampling pattern) and runs the real per-block
+// encoder on each, threading the previous-quant state through the samples.
+func (e *Estimator) estimateSZP(f *field.Field, eb float64) (float64, error) {
+	totalBlocks := (f.Len() + szp.BlockSize - 1) / szp.BlockSize
+	every := e.opts.SZxBlockEvery
+	if totalBlocks/every < e.opts.MinSampledBlocks {
+		every = totalBlocks / e.opts.MinSampledBlocks
+		if every < 1 {
+			every = 1
+		}
+	}
+	var bits uint64
+	sampled := 0
+	prev := int64(0)
+	for b := 0; b < totalBlocks; b += every {
+		start := b * szp.BlockSize
+		end := start + szp.BlockSize
+		if end > f.Len() {
+			end = f.Len()
+		}
+		var blockBits uint64
+		blockBits, prev = szp.EstimateBlockBits(f.Data[start:end], eb, prev)
+		bits += blockBits
+		sampled++
+	}
+	estBits := float64(bits) / float64(sampled) * float64(totalBlocks)
+	return ratioFromBits(f, estBits), nil
+}
+
+// estimateSZx samples one 128-sample block of every SZxBlockEvery and runs
+// the real per-block encoder on each sample.
+func (e *Estimator) estimateSZx(f *field.Field, eb float64) (float64, error) {
+	totalBlocks := (f.Len() + szx.BlockSize - 1) / szx.BlockSize
+	every := e.opts.SZxBlockEvery
+	if totalBlocks/every < e.opts.MinSampledBlocks {
+		every = totalBlocks / e.opts.MinSampledBlocks
+		if every < 1 {
+			every = 1
+		}
+	}
+	var bits uint64
+	sampled := 0
+	for b := 0; b < totalBlocks; b += every {
+		start := b * szx.BlockSize
+		end := start + szx.BlockSize
+		if end > f.Len() {
+			end = f.Len()
+		}
+		bits += szx.EstimateBlockBits(f.Data[start:end], eb)
+		sampled++
+	}
+	estBits := float64(bits) / float64(sampled) * float64(totalBlocks)
+	return ratioFromBits(f, estBits), nil
+}
+
+// estimateZFP samples one 4^d block of every ZFPBlockEvery along each
+// dimension and runs the real block pipeline on each.
+func (e *Estimator) estimateZFP(f *field.Field, eb float64) (float64, error) {
+	every := e.opts.ZFPBlockEvery
+	for every > 1 {
+		_, sampled, _ := zfp.EstimateSampledBits(f, eb, every)
+		if sampled >= e.opts.MinSampledBlocks {
+			break
+		}
+		every /= 2
+	}
+	bits, sampled, total := zfp.EstimateSampledBits(f, eb, every)
+	estBits := float64(bits) / float64(sampled) * float64(total)
+	return ratioFromBits(f, estBits), nil
+}
+
+// estimateSZ3 strided-samples points, runs only the finest interpolation
+// level, and sizes the codes with a fixed bit width instead of Huffman —
+// the stage skipping that produces SECRE's characteristic SZ3 bias.
+func (e *Estimator) estimateSZ3(f *field.Field, eb float64) (float64, error) {
+	s := f.SampleStride(e.opts.SZ3Stride)
+	codes := sz3.LastLevelCodes(s, eb)
+	if len(codes) == 0 {
+		return 1, nil
+	}
+	// Fixed-width sizing: enough bits for the widest residual seen, plus
+	// 32 bits for each outlier (code 0).
+	const center = 32768
+	maxDev := 0
+	outliers := 0
+	for _, c := range codes {
+		if c == 0 {
+			outliers++
+			continue
+		}
+		d := int(c) - center
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	width := 1.0
+	if maxDev > 0 {
+		width = math.Ceil(math.Log2(float64(2*maxDev+1))) + 1
+	}
+	bitsPerPoint := width*float64(len(codes)-outliers)/float64(len(codes)) +
+		32*float64(outliers)/float64(len(codes))
+	estBits := bitsPerPoint * float64(f.Len())
+	return ratioFromBits(f, estBits), nil
+}
+
+// estimateSPERR gathers chunk samples and runs the wavelet+SPECK stages on
+// them, skipping the outlier and Zstd passes. The chunk size adapts down on
+// fields smaller than ChunkSize*ChunkEvery so the sampled fraction stays
+// near (1/ChunkEvery)^dims instead of degenerating to the whole field.
+func (e *Estimator) estimateSPERR(f *field.Field, eb float64) (float64, error) {
+	size, every := e.opts.SPERRChunkSize, e.opts.SPERRChunkEvery
+	minDim := f.Nx
+	if f.Ny > 1 && f.Ny < minDim {
+		minDim = f.Ny
+	}
+	if f.Nz > 1 && f.Nz < minDim {
+		minDim = f.Nz
+	}
+	if size*every > minDim {
+		n := (minDim + size*every - 1) / (size * every)
+		size = (minDim + every*n - 1) / (every * n)
+		if size < 2 {
+			size = 2
+		}
+	}
+	s := f.SampleBlocks(field.BlockSpec{Size: size, Every: every})
+	if s.Len() < 8 {
+		s = f
+	}
+	bits := sperr.EstimateSampledBits(s, eb)
+	estBits := float64(bits) / float64(s.Len()) * float64(f.Len())
+	return ratioFromBits(f, estBits), nil
+}
+
+// ratioFromBits converts an estimated payload size in bits into a
+// compression ratio, flooring the denominator at one byte.
+func ratioFromBits(f *field.Field, bits float64) float64 {
+	bytes := bits / 8
+	if bytes < 1 {
+		bytes = 1
+	}
+	return float64(f.SizeBytes()) / bytes
+}
+
+// Curve evaluates est at each error bound, producing the sampled
+// compression function f(e) that both FXRZ-style full runs and SECRE
+// surrogate runs feed into model training.
+func Curve(est compressor.Estimator, f *field.Field, ebs []float64) ([]float64, error) {
+	out := make([]float64, len(ebs))
+	for i, eb := range ebs {
+		r, err := est.EstimateRatio(f, eb)
+		if err != nil {
+			return nil, fmt.Errorf("secre: curve at eb=%g: %w", eb, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// SampledFull estimates by running the FULL compressor on a block-sampled
+// subset and extrapolating. This is the fallback the paper's conclusions
+// describe ("Compressor Behavior 3") for compressors that have no
+// purpose-built surrogate: pair it with calibration and CAROL still works,
+// especially for high-throughput compressors. The sampling window should
+// match the target compressor's compression window (Table 1).
+type SampledFull struct {
+	Codec compressor.Codec
+	// Spec controls block sampling; the zero value samples 32-wide blocks,
+	// one of every 4.
+	Spec field.BlockSpec
+}
+
+var _ compressor.Estimator = (*SampledFull)(nil)
+
+// Name implements compressor.Estimator.
+func (s *SampledFull) Name() string { return s.Codec.Name() }
+
+// EstimateRatio implements compressor.Estimator.
+func (s *SampledFull) EstimateRatio(f *field.Field, eb float64) (float64, error) {
+	spec := s.Spec
+	if spec.Size <= 0 {
+		spec.Size = 32
+	}
+	if spec.Every <= 0 {
+		spec.Every = 4
+	}
+	sample := f.SampleBlocks(spec)
+	if sample.Len() < 2 {
+		sample = f
+	}
+	stream, err := s.Codec.Compress(sample, eb)
+	if err != nil {
+		return 0, err
+	}
+	estBits := float64(len(stream)) * 8 / float64(sample.Len()) * float64(f.Len())
+	return ratioFromBits(f, estBits), nil
+}
+
+// FullEstimator adapts a full compressor into the Estimator interface by
+// actually compressing and measuring — this is what FXRZ's data collection
+// does, and the baseline SECRE is compared against.
+type FullEstimator struct {
+	Codec compressor.Codec
+}
+
+// Name implements compressor.Estimator.
+func (fe *FullEstimator) Name() string { return fe.Codec.Name() }
+
+// EstimateRatio implements compressor.Estimator by running the compressor.
+func (fe *FullEstimator) EstimateRatio(f *field.Field, eb float64) (float64, error) {
+	stream, err := fe.Codec.Compress(f, eb)
+	if err != nil {
+		return 0, err
+	}
+	return compressor.Ratio(f, stream), nil
+}
+
+var _ compressor.Estimator = (*FullEstimator)(nil)

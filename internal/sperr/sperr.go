@@ -1,0 +1,561 @@
+// Package sperr reimplements the SPERR wavelet-based error-bounded lossy
+// compressor (Li, Lindstrom & Clyne, IPDPS 2023) in pure Go. SPERR is the
+// second "high compression ratio" compressor of the CAROL evaluation.
+//
+// The pipeline follows the original design: a multi-level CDF 9/7 wavelet
+// transform, a SPECK-style set-partitioning bit-plane coder over the
+// coefficient cube (octree significance testing with sign and refinement
+// bits), an outlier-correction pass that restores the pointwise error bound
+// for any samples the truncated wavelet reconstruction leaves outside it,
+// and a final DEFLATE stage standing in for SPERR's Zstd stage (see
+// DESIGN.md).
+package sperr
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"carol/internal/bitstream"
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/wavelet"
+)
+
+// Codec is the SPERR compressor.
+type Codec struct{}
+
+// New returns a SPERR codec.
+func New() *Codec { return &Codec{} }
+
+// Name implements compressor.Codec.
+func (*Codec) Name() string { return "sperr" }
+
+var _ compressor.Codec = (*Codec)(nil)
+
+// maxPasses caps the number of bit planes coded.
+const maxPasses = 48
+
+// stopDivisor sets the final wavelet-domain threshold relative to eb; the
+// outlier pass guarantees the bound regardless, this only balances main-pass
+// size against outlier count.
+const stopDivisor = 4
+
+// region is an axis-aligned box of coefficients.
+type region struct{ x, y, z, w, h, d int }
+
+func (r region) leaf() bool { return r.w == 1 && r.h == 1 && r.d == 1 }
+
+// children splits r in half along every dimension of size >= 2, in a
+// deterministic order shared by encoder and decoder.
+func (r region) children(out []region) []region {
+	hw := (r.w + 1) / 2
+	hh := (r.h + 1) / 2
+	hd := (r.d + 1) / 2
+	for dz := 0; dz < 2; dz++ {
+		z0, d := r.z, hd
+		if dz == 1 {
+			if r.d < 2 {
+				continue
+			}
+			z0, d = r.z+hd, r.d-hd
+		} else if r.d < 2 {
+			d = r.d
+		}
+		for dy := 0; dy < 2; dy++ {
+			y0, h := r.y, hh
+			if dy == 1 {
+				if r.h < 2 {
+					continue
+				}
+				y0, h = r.y+hh, r.h-hh
+			} else if r.h < 2 {
+				h = r.h
+			}
+			for dx := 0; dx < 2; dx++ {
+				x0, w := r.x, hw
+				if dx == 1 {
+					if r.w < 2 {
+						continue
+					}
+					x0, w = r.x+hw, r.w-hw
+				} else if r.w < 2 {
+					w = r.w
+				}
+				out = append(out, region{x0, y0, z0, w, h, d})
+			}
+		}
+	}
+	return out
+}
+
+// maxTree caches the maximum |coefficient| of every region the coder can
+// visit (encoder side only).
+type maxTree struct {
+	coeffs     []float64
+	nx, ny, nz int
+	cache      map[region]float64
+}
+
+func newMaxTree(coeffs []float64, nx, ny, nz int) *maxTree {
+	t := &maxTree{coeffs: coeffs, nx: nx, ny: ny, nz: nz, cache: make(map[region]float64)}
+	t.build(region{0, 0, 0, nx, ny, nz})
+	return t
+}
+
+func (t *maxTree) build(r region) float64 {
+	if r.leaf() {
+		return math.Abs(t.coeffs[(r.z*t.ny+r.y)*t.nx+r.x])
+	}
+	var m float64
+	var kids [8]region
+	for _, c := range r.children(kids[:0]) {
+		if v := t.build(c); v > m {
+			m = v
+		}
+	}
+	t.cache[r] = m
+	return m
+}
+
+func (t *maxTree) max(r region) float64 {
+	if r.leaf() {
+		return math.Abs(t.coeffs[(r.z*t.ny+r.y)*t.nx+r.x])
+	}
+	return t.cache[r]
+}
+
+// lspEntry is a coefficient that has become significant.
+type lspEntry struct {
+	idx  int
+	pass int
+}
+
+// encodeSPECK writes the set-partitioning bit-plane code for coeffs.
+// Returns the per-coefficient quantized magnitudes reconstruction the
+// decoder will arrive at (needed for the outlier pass).
+func encodeSPECK(w *bitstream.Writer, coeffs []float64, nx, ny, nz int, t0 float64, nPasses int) []float64 {
+	tree := newMaxTree(coeffs, nx, ny, nz)
+	recon := make([]float64, len(coeffs))
+	lis := []region{{0, 0, 0, nx, ny, nz}}
+	var lsp []lspEntry
+	T := t0
+	var kids [8]region
+	for pass := 0; pass < nPasses; pass++ {
+		// Sorting pass.
+		queue := lis
+		lis = lis[:0:0]
+		for qi := 0; qi < len(queue); qi++ {
+			r := queue[qi]
+			if tree.max(r) >= T {
+				w.WriteBit(1)
+				if r.leaf() {
+					idx := (r.z*ny+r.y)*nx + r.x
+					v := coeffs[idx]
+					if v < 0 {
+						w.WriteBit(1)
+					} else {
+						w.WriteBit(0)
+					}
+					lsp = append(lsp, lspEntry{idx, pass})
+					mag := 1.5 * T
+					if v < 0 {
+						mag = -mag
+					}
+					recon[idx] = mag
+				} else {
+					queue = append(queue, r.children(kids[:0])...)
+				}
+			} else {
+				w.WriteBit(0)
+				lis = append(lis, r)
+			}
+		}
+		// Refinement pass for previously significant coefficients.
+		for _, e := range lsp {
+			if e.pass == pass {
+				continue
+			}
+			mag := math.Abs(coeffs[e.idx])
+			// Bit of |coef| at the current plane.
+			b := uint(0)
+			if math.Mod(mag, 2*T) >= T {
+				b = 1
+			}
+			w.WriteBit(b)
+			step := T / 2
+			if b == 0 {
+				step = -step
+			}
+			if recon[e.idx] < 0 {
+				recon[e.idx] -= step
+			} else {
+				recon[e.idx] += step
+			}
+		}
+		T /= 2
+	}
+	return recon
+}
+
+// decodeSPECK mirrors encodeSPECK. budget < 0 decodes the whole stream; a
+// non-negative budget stops after that many bits, returning the partial
+// (embedded-prefix) reconstruction — SPERR's progressive-decode property.
+func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, budget int64) ([]float64, error) {
+	n := nx * ny * nz
+	recon := make([]float64, n)
+	neg := make([]bool, n)
+	lis := []region{{0, 0, 0, nx, ny, nz}}
+	var lsp []lspEntry
+	T := t0
+	var kids [8]region
+	var consumed int64
+	budgetHit := false
+	grab := func() (uint, error) {
+		if budget >= 0 && consumed >= budget {
+			budgetHit = true
+			return 0, bitstream.ErrShortStream
+		}
+		b, err := r.ReadBit()
+		if err == nil {
+			consumed++
+		}
+		return b, err
+	}
+	for pass := 0; pass < nPasses; pass++ {
+		queue := lis
+		lis = lis[:0:0]
+		for qi := 0; qi < len(queue); qi++ {
+			rg := queue[qi]
+			bit, err := grab()
+			if err != nil {
+				if budgetHit {
+					return recon, nil
+				}
+				return nil, fmt.Errorf("%w: speck significance: %v", compressor.ErrBadStream, err)
+			}
+			if bit == 1 {
+				if rg.leaf() {
+					s, err := grab()
+					if err != nil {
+						if budgetHit {
+							return recon, nil
+						}
+						return nil, fmt.Errorf("%w: speck sign: %v", compressor.ErrBadStream, err)
+					}
+					idx := (rg.z*ny+rg.y)*nx + rg.x
+					neg[idx] = s == 1
+					mag := 1.5 * T
+					if neg[idx] {
+						mag = -mag
+					}
+					recon[idx] = mag
+					lsp = append(lsp, lspEntry{idx, pass})
+				} else {
+					queue = append(queue, rg.children(kids[:0])...)
+				}
+			} else {
+				lis = append(lis, rg)
+			}
+		}
+		for _, e := range lsp {
+			if e.pass == pass {
+				continue
+			}
+			b, err := grab()
+			if err != nil {
+				if budgetHit {
+					return recon, nil
+				}
+				return nil, fmt.Errorf("%w: speck refinement: %v", compressor.ErrBadStream, err)
+			}
+			step := T / 2
+			if b == 0 {
+				step = -step
+			}
+			if recon[e.idx] < 0 {
+				recon[e.idx] -= step
+			} else {
+				recon[e.idx] += step
+			}
+		}
+		T /= 2
+	}
+	return recon, nil
+}
+
+// outlier is one corrected sample.
+type outlier struct {
+	idx int
+	q   int64 // correction in units of eb/2
+}
+
+// findOutliers returns the corrections needed to bring recon within eb of
+// orig everywhere.
+func findOutliers(orig []float32, recon []float64, eb float64) []outlier {
+	var out []outlier
+	half := eb / 2
+	for i, v := range orig {
+		err := float64(v) - recon[i]
+		if math.Abs(err) > eb*0.95 {
+			q := int64(math.Round(err / half))
+			if q == 0 {
+				continue
+			}
+			out = append(out, outlier{i, q})
+		}
+	}
+	return out
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(u uint64) int64  { return int64(u>>1) ^ -int64(u&1) }
+
+// Compress implements compressor.Codec.
+func (*Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
+	if err := compressor.ValidateArgs(f, eb); err != nil {
+		return nil, err
+	}
+	nx, ny, nz := f.Nx, f.Ny, f.Nz
+	g := wavelet.NewGrid(nx, ny, nz)
+	for i, v := range f.Data {
+		g.Data[i] = float64(v)
+	}
+	maxDim := nx
+	if ny > maxDim {
+		maxDim = ny
+	}
+	if nz > maxDim {
+		maxDim = nz
+	}
+	levels := wavelet.Levels(maxDim)
+	g.Forward(levels)
+
+	var maxAbs float64
+	for _, v := range g.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	w := bitstream.NewWriter(f.SizeBytes() / 8)
+	var t0 float64
+	nPasses := 0
+	if maxAbs > 0 {
+		tExp := math.Floor(math.Log2(maxAbs))
+		t0 = math.Pow(2, tExp)
+		tStop := eb / stopDivisor
+		for T := t0; T >= tStop && nPasses < maxPasses; T /= 2 {
+			nPasses++
+		}
+	}
+	var reconW []float64
+	if nPasses > 0 {
+		reconW = encodeSPECK(w, g.Data, nx, ny, nz, t0, nPasses)
+	} else {
+		reconW = make([]float64, len(g.Data))
+	}
+
+	// Reconstruct to find outliers exactly as the decoder will.
+	rg := wavelet.NewGrid(nx, ny, nz)
+	copy(rg.Data, reconW)
+	rg.Inverse(levels)
+	outliers := findOutliers(f.Data, rg.Data, eb)
+
+	// Assemble payload.
+	var payload bytes.Buffer
+	var hdr [8 + 4 + 1 + 4]byte
+	binary.LittleEndian.PutUint64(hdr[0:], math.Float64bits(t0))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(levels))
+	hdr[12] = byte(nPasses)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(outliers)))
+	payload.Write(hdr[:])
+	// Outliers: delta-varint index + zigzag-varint correction (the CSR-like
+	// sparse encoding of SPERR's outlier pass).
+	var vbuf [binary.MaxVarintLen64]byte
+	prev := 0
+	for _, o := range outliers {
+		n := binary.PutUvarint(vbuf[:], uint64(o.idx-prev))
+		payload.Write(vbuf[:n])
+		prev = o.idx
+		n = binary.PutUvarint(vbuf[:], zigzag(o.q))
+		payload.Write(vbuf[:n])
+	}
+	// SPECK stream: bit length then bytes.
+	var lbuf [8]byte
+	binary.LittleEndian.PutUint64(lbuf[:], w.BitLen())
+	payload.Write(lbuf[:])
+	payload.Write(w.Bytes())
+
+	out := compressor.AppendHeader(nil, compressor.Header{
+		Magic: compressor.MagicSPERR, Nx: nx, Ny: ny, Nz: nz, EB: eb,
+	})
+	var zbuf bytes.Buffer
+	zw, err := flate.NewWriter(&zbuf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("sperr: flate init: %w", err)
+	}
+	if _, err := zw.Write(payload.Bytes()); err != nil {
+		return nil, fmt.Errorf("sperr: flate write: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("sperr: flate close: %w", err)
+	}
+	return append(out, zbuf.Bytes()...), nil
+}
+
+// Decompress implements compressor.Codec.
+func (*Codec) Decompress(stream []byte) (*field.Field, error) {
+	return decompress(stream, -1, true)
+}
+
+// DecompressProgressive reconstructs from only the first frac (0, 1] of
+// the SPECK bit stream — the embedded-coding property of SPERR: any prefix
+// of the coded stream is a valid, coarser reconstruction. The outlier
+// corrections target the full-precision reconstruction and are therefore
+// skipped for frac < 1, so the pointwise error bound does NOT hold;
+// quality degrades gracefully with frac instead.
+func DecompressProgressive(stream []byte, frac float64) (*field.Field, error) {
+	if !(frac > 0) || frac > 1 {
+		return nil, fmt.Errorf("sperr: invalid progressive fraction %g", frac)
+	}
+	return decompress(stream, frac, frac >= 1)
+}
+
+// decompress implements both full and progressive decoding. speckFrac < 0
+// decodes everything.
+func decompress(stream []byte, speckFrac float64, applyOutliers bool) (*field.Field, error) {
+	h, rest, err := compressor.ParseHeader(stream, compressor.MagicSPERR)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the inflate output so corrupted streams cannot become
+	// decompression bombs (see the matching guard in package sz3).
+	maxPayload := int64(h.Nx)*int64(h.Ny)*int64(h.Nz)*16 + 1<<20
+	zr := flate.NewReader(bytes.NewReader(rest))
+	payload, err := io.ReadAll(io.LimitReader(zr, maxPayload+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: sperr inflate: %v", compressor.ErrBadStream, err)
+	}
+	if int64(len(payload)) > maxPayload {
+		return nil, fmt.Errorf("%w: sperr payload exceeds plausible size", compressor.ErrBadStream)
+	}
+	const fixed = 8 + 4 + 1 + 4
+	if len(payload) < fixed {
+		return nil, fmt.Errorf("%w: sperr payload truncated", compressor.ErrBadStream)
+	}
+	t0 := math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
+	levels := int(binary.LittleEndian.Uint32(payload[8:]))
+	nPasses := int(payload[12])
+	nOut := int(binary.LittleEndian.Uint32(payload[13:]))
+	if levels < 0 || levels > 40 || nPasses > maxPasses {
+		return nil, fmt.Errorf("%w: sperr header fields", compressor.ErrBadStream)
+	}
+	n := h.Nx * h.Ny * h.Nz
+	if nOut < 0 || nOut > n {
+		return nil, fmt.Errorf("%w: sperr outlier count %d", compressor.ErrBadStream, nOut)
+	}
+	br := bytes.NewReader(payload[fixed:])
+	outliers := make([]outlier, nOut)
+	prev := 0
+	for i := range outliers {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sperr outlier index: %v", compressor.ErrBadStream, err)
+		}
+		z, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sperr outlier value: %v", compressor.ErrBadStream, err)
+		}
+		prev += int(d)
+		if prev >= n {
+			return nil, fmt.Errorf("%w: sperr outlier index %d out of range", compressor.ErrBadStream, prev)
+		}
+		outliers[i] = outlier{prev, unzig(z)}
+	}
+	var lbuf [8]byte
+	if _, err := io.ReadFull(br, lbuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: sperr speck length: %v", compressor.ErrBadStream, err)
+	}
+	speckBits := binary.LittleEndian.Uint64(lbuf[:])
+	speckBytes := make([]byte, br.Len())
+	if _, err := io.ReadFull(br, speckBytes); err != nil {
+		return nil, fmt.Errorf("%w: sperr speck payload: %v", compressor.ErrBadStream, err)
+	}
+	if speckBits > uint64(len(speckBytes))*8 {
+		return nil, fmt.Errorf("%w: sperr speck bit length", compressor.ErrBadStream)
+	}
+
+	var reconW []float64
+	if nPasses > 0 {
+		budget := int64(-1)
+		if speckFrac >= 0 && speckFrac < 1 {
+			budget = int64(speckFrac * float64(speckBits))
+		}
+		r := bitstream.NewReader(speckBytes, speckBits)
+		reconW, err = decodeSPECK(r, h.Nx, h.Ny, h.Nz, t0, nPasses, budget)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		reconW = make([]float64, n)
+	}
+	g := wavelet.NewGrid(h.Nx, h.Ny, h.Nz)
+	copy(g.Data, reconW)
+	g.Inverse(levels)
+	if applyOutliers {
+		half := h.EB / 2
+		for _, o := range outliers {
+			g.Data[o.idx] += float64(o.q) * half
+		}
+	}
+	f := field.New("sperr", h.Nx, h.Ny, h.Nz)
+	for i, v := range g.Data {
+		f.Data[i] = float32(v)
+	}
+	return f, nil
+}
+
+// EstimateSampledBits performs the SECRE SPERR surrogate computation on f:
+// wavelet transform + SPECK coding only (no outlier pass, no DEFLATE),
+// returning the SPECK payload bits produced. Callers pass an already
+// block-sampled field and extrapolate.
+func EstimateSampledBits(f *field.Field, eb float64) uint64 {
+	nx, ny, nz := f.Nx, f.Ny, f.Nz
+	g := wavelet.NewGrid(nx, ny, nz)
+	for i, v := range f.Data {
+		g.Data[i] = float64(v)
+	}
+	maxDim := nx
+	if ny > maxDim {
+		maxDim = ny
+	}
+	if nz > maxDim {
+		maxDim = nz
+	}
+	levels := wavelet.Levels(maxDim)
+	g.Forward(levels)
+	var maxAbs float64
+	for _, v := range g.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 8
+	}
+	t0 := math.Pow(2, math.Floor(math.Log2(maxAbs)))
+	nPasses := 0
+	tStop := eb / stopDivisor
+	for T := t0; T >= tStop && nPasses < maxPasses; T /= 2 {
+		nPasses++
+	}
+	if nPasses == 0 {
+		return 8
+	}
+	w := bitstream.NewWriter(len(f.Data) / 2)
+	encodeSPECK(w, g.Data, nx, ny, nz, t0, nPasses)
+	return w.BitLen()
+}

@@ -1,0 +1,218 @@
+package szp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/xrand"
+)
+
+func smoothField(nx, ny, nz int, seed uint64) *field.Field {
+	n := xrand.NewNoise(seed)
+	f := field.New("smooth", nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				f.Set(x, y, z, float32(4*n.FBm(float64(x)/16, float64(y)/16, float64(z)/16, 4, 0.5)))
+			}
+		}
+	}
+	return f
+}
+
+func TestRoundTripBound(t *testing.T) {
+	c := New()
+	f := smoothField(32, 32, 16, 1)
+	for _, rel := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		eb := compressor.AbsBound(f, rel)
+		stream, err := c.Compress(f, eb)
+		if err != nil {
+			t.Fatalf("rel %g: %v", rel, err)
+		}
+		g, err := c.Decompress(stream)
+		if err != nil {
+			t.Fatalf("rel %g: %v", rel, err)
+		}
+		if err := compressor.CheckBound(f, g, eb); err != nil {
+			t.Fatalf("rel %g: %v (maxerr %g)", rel, err, compressor.MaxAbsErr(f, g))
+		}
+	}
+}
+
+func TestMonotoneRatio(t *testing.T) {
+	c := New()
+	f := smoothField(64, 64, 1, 2)
+	var prev float64
+	for _, rel := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+		stream, err := c.Compress(f, compressor.AbsBound(f, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := compressor.Ratio(f, stream)
+		if ratio < prev {
+			t.Fatalf("ratio decreased: %g -> %g at rel %g", prev, ratio, rel)
+		}
+		prev = ratio
+	}
+	if prev < 4 {
+		t.Fatalf("loose-bound ratio only %g", prev)
+	}
+}
+
+func TestConstantFieldZeroBlocks(t *testing.T) {
+	c := New()
+	f := field.New("const", 8192, 1, 1)
+	for i := range f.Data {
+		f.Data[i] = 7.5
+	}
+	stream, err := c.Compress(f, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant data: first block carries one delta burst, the rest are
+	// 2-bit zero blocks -> ratio should be extreme.
+	if ratio := compressor.Ratio(f, stream); ratio < 100 {
+		t.Fatalf("constant-field ratio %g", ratio)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, 0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeValuesFallBackToRaw(t *testing.T) {
+	c := New()
+	f := field.FromData("huge", 64, 1, 1, make([]float32, 64))
+	for i := range f.Data {
+		f.Data[i] = 3e30 // quantizes out of range for tiny eb
+	}
+	eb := 1e-12
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Equalish(g, 0); err != nil {
+		t.Fatalf("raw fallback not exact: %v", err)
+	}
+}
+
+func TestShortTailBlock(t *testing.T) {
+	c := New()
+	f := smoothField(BlockSize*3+5, 1, 1, 3)
+	eb := compressor.AbsBound(f, 1e-2)
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, eb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	c := New()
+	for i, s := range [][]byte{nil, {1}, make([]byte, 26)} {
+		if _, err := c.Decompress(s); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	f := smoothField(16, 16, 1, 4)
+	stream, err := c.Compress(f, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(stream[:len(stream)-3]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestEstimateBlockBitsMatchesEncoder(t *testing.T) {
+	f := smoothField(BlockSize*16, 1, 1, 5)
+	eb := compressor.AbsBound(f, 1e-3)
+	c := New()
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bits uint64
+	prev := int64(0)
+	for start := 0; start < len(f.Data); start += BlockSize {
+		b, last := EstimateBlockBits(f.Data[start:start+BlockSize], eb, prev)
+		bits += b
+		prev = last
+	}
+	payloadBytes := len(stream) - 25 - 8
+	wantBytes := int((bits + 7) / 8)
+	if diff := payloadBytes - wantBytes; diff < -8 || diff > 8 {
+		t.Fatalf("estimator %d bytes vs encoder %d", wantBytes, payloadBytes)
+	}
+}
+
+func TestQuickRoundTripBound(t *testing.T) {
+	c := New()
+	fn := func(seed uint64, n16 uint16, ebExp uint8) bool {
+		rng := xrand.New(seed)
+		n := int(n16%3000) + 1
+		fl := field.New("q", n, 1, 1)
+		for i := range fl.Data {
+			fl.Data[i] = float32(rng.Range(-50, 50))
+		}
+		eb := math.Pow(10, -float64(ebExp%5))
+		stream, err := c.Compress(fl, eb)
+		if err != nil {
+			return false
+		}
+		g, err := c.Decompress(stream)
+		if err != nil {
+			return false
+		}
+		return compressor.CheckBound(fl, g, eb) == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	c := New()
+	f := smoothField(64, 64, 64, 1)
+	eb := compressor.AbsBound(f, 1e-3)
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(f, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	c := New()
+	f := smoothField(64, 64, 64, 1)
+	eb := compressor.AbsBound(f, 1e-3)
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

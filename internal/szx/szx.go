@@ -1,0 +1,219 @@
+// Package szx reimplements the SZx ultra-fast error-bounded lossy compressor
+// (Yu et al., HPDC'22) in pure Go. SZx is the "delta-based" compressor of
+// the CAROL evaluation: it splits the input into 1D blocks of 128 samples
+// and encodes each block either as a constant (when the whole block fits
+// within twice the error bound) or with a per-block fixed bit-width encoding
+// of the samples' offsets from the block minimum — the byte/bit truncation
+// of IEEE-754 payloads that gives SZx its speed.
+//
+// The encoded stream is self-describing: a common header followed by
+// bit-packed blocks.
+package szx
+
+import (
+	"fmt"
+	"math"
+
+	"carol/internal/bitstream"
+	"carol/internal/compressor"
+	"carol/internal/field"
+)
+
+// BlockSize is the number of consecutive samples per block (the value the
+// SZx paper and the CAROL paper both use).
+const BlockSize = 128
+
+// rawWidth is the sentinel bit-width marking an uncompressed block.
+const rawWidth = 63
+
+// Codec is the SZx compressor. The zero value is ready to use.
+type Codec struct{}
+
+// New returns an SZx codec.
+func New() *Codec { return &Codec{} }
+
+// Name implements compressor.Codec.
+func (*Codec) Name() string { return "szx" }
+
+var _ compressor.Codec = (*Codec)(nil)
+
+// Compress implements compressor.Codec.
+func (*Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
+	if err := compressor.ValidateArgs(f, eb); err != nil {
+		return nil, err
+	}
+	w := bitstream.NewWriter(f.SizeBytes() / 4)
+	for start := 0; start < len(f.Data); start += BlockSize {
+		end := start + BlockSize
+		if end > len(f.Data) {
+			end = len(f.Data)
+		}
+		encodeBlock(w, f.Data[start:end], eb)
+	}
+	out := compressor.AppendHeader(nil, compressor.Header{
+		Magic: compressor.MagicSZx, Nx: f.Nx, Ny: f.Ny, Nz: f.Nz, EB: eb,
+	})
+	// Bit length so the decoder can cap its reader.
+	bits := w.BitLen()
+	var lenBuf [8]byte
+	for i := 0; i < 8; i++ {
+		lenBuf[i] = byte(bits >> (56 - 8*i))
+	}
+	out = append(out, lenBuf[:]...)
+	return append(out, w.Bytes()...), nil
+}
+
+// encodeBlock writes one block.
+//
+// Layout: 1 flag bit; constant block: 32-bit float32 payload; otherwise
+// 6-bit width, 32-bit float32 block minimum, then width bits per sample.
+func encodeBlock(w *bitstream.Writer, block []float32, eb float64) {
+	lo, hi := block[0], block[0]
+	for _, v := range block[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// Constant-block attempt: representative value must land every sample
+	// within eb even after float32 rounding.
+	mid := float32((float64(lo) + float64(hi)) / 2)
+	if math.Abs(float64(hi)-float64(mid)) <= eb && math.Abs(float64(lo)-float64(mid)) <= eb {
+		w.WriteBit(1)
+		w.WriteBits(uint64(math.Float32bits(mid)), 32)
+		return
+	}
+	w.WriteBit(0)
+	// Fixed-width offset encoding from the block minimum.
+	rng := float64(hi) - float64(lo)
+	levels := math.Floor(rng/(2*eb)) + 1
+	width := uint(math.Ceil(math.Log2(levels)))
+	if width == 0 {
+		width = 1
+	}
+	if width >= 32 {
+		// Error bound finer than float32 resolution: store samples raw.
+		w.WriteBits(rawWidth, 6)
+		for _, v := range block {
+			w.WriteBits(uint64(math.Float32bits(v)), 32)
+		}
+		return
+	}
+	w.WriteBits(uint64(width), 6)
+	w.WriteBits(uint64(math.Float32bits(lo)), 32)
+	maxQ := uint64(1)<<width - 1
+	for _, v := range block {
+		q := uint64(math.Floor((float64(v) - float64(lo)) / (2 * eb)))
+		if q > maxQ {
+			q = maxQ
+		}
+		w.WriteBits(q, width)
+	}
+}
+
+// Decompress implements compressor.Codec.
+func (*Codec) Decompress(stream []byte) (*field.Field, error) {
+	h, rest, err := compressor.ParseHeader(stream, compressor.MagicSZx)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("%w: missing bit length", compressor.ErrBadStream)
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits = bits<<8 | uint64(rest[i])
+	}
+	r := bitstream.NewReader(rest[8:], bits)
+	f := field.New("szx", h.Nx, h.Ny, h.Nz)
+	for start := 0; start < len(f.Data); start += BlockSize {
+		end := start + BlockSize
+		if end > len(f.Data) {
+			end = len(f.Data)
+		}
+		if err := decodeBlock(r, f.Data[start:end], h.EB); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func decodeBlock(r *bitstream.Reader, block []float32, eb float64) error {
+	flag, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("%w: block flag: %v", compressor.ErrBadStream, err)
+	}
+	if flag == 1 {
+		raw, err := r.ReadBits(32)
+		if err != nil {
+			return fmt.Errorf("%w: constant payload: %v", compressor.ErrBadStream, err)
+		}
+		c := math.Float32frombits(uint32(raw))
+		for i := range block {
+			block[i] = c
+		}
+		return nil
+	}
+	w64, err := r.ReadBits(6)
+	if err != nil {
+		return fmt.Errorf("%w: block width: %v", compressor.ErrBadStream, err)
+	}
+	width := uint(w64)
+	if width == rawWidth {
+		for i := range block {
+			raw, err := r.ReadBits(32)
+			if err != nil {
+				return fmt.Errorf("%w: raw sample: %v", compressor.ErrBadStream, err)
+			}
+			block[i] = math.Float32frombits(uint32(raw))
+		}
+		return nil
+	}
+	if width == 0 || width >= 32 {
+		return fmt.Errorf("%w: invalid block width %d", compressor.ErrBadStream, width)
+	}
+	loBits, err := r.ReadBits(32)
+	if err != nil {
+		return fmt.Errorf("%w: block min: %v", compressor.ErrBadStream, err)
+	}
+	lo := float64(math.Float32frombits(uint32(loBits)))
+	for i := range block {
+		q, err := r.ReadBits(width)
+		if err != nil {
+			return fmt.Errorf("%w: sample code: %v", compressor.ErrBadStream, err)
+		}
+		block[i] = float32(lo + (float64(q)+0.5)*2*eb)
+	}
+	return nil
+}
+
+// EstimateBlockBits returns the exact number of stream bits encodeBlock
+// would produce for the given block, without writing anything. The SECRE
+// SZx surrogate runs this on sampled blocks to extrapolate the ratio.
+func EstimateBlockBits(block []float32, eb float64) uint64 {
+	lo, hi := block[0], block[0]
+	for _, v := range block[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	mid := float32((float64(lo) + float64(hi)) / 2)
+	if math.Abs(float64(hi)-float64(mid)) <= eb && math.Abs(float64(lo)-float64(mid)) <= eb {
+		return 1 + 32
+	}
+	rng := float64(hi) - float64(lo)
+	levels := math.Floor(rng/(2*eb)) + 1
+	width := uint64(math.Ceil(math.Log2(levels)))
+	if width == 0 {
+		width = 1
+	}
+	if width >= 32 {
+		return 1 + 6 + 32*uint64(len(block))
+	}
+	return 1 + 6 + 32 + width*uint64(len(block))
+}

@@ -1,0 +1,302 @@
+package szx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/xrand"
+)
+
+func smoothField(nx, ny, nz int, seed uint64) *field.Field {
+	n := xrand.NewNoise(seed)
+	f := field.New("smooth", nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				f.Set(x, y, z, float32(n.FBm(float64(x)/16, float64(y)/16, float64(z)/16, 4, 0.5)))
+			}
+		}
+	}
+	return f
+}
+
+func roughField(n int, seed uint64) *field.Field {
+	rng := xrand.New(seed)
+	f := field.New("rough", n, 1, 1)
+	for i := range f.Data {
+		f.Data[i] = float32(rng.Norm())
+	}
+	return f
+}
+
+func TestRoundTripBoundSmooth(t *testing.T) {
+	c := New()
+	f := smoothField(32, 32, 16, 1)
+	for _, rel := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		eb := compressor.AbsBound(f, rel)
+		stream, err := c.Compress(f, eb)
+		if err != nil {
+			t.Fatalf("rel=%g: %v", rel, err)
+		}
+		g, err := c.Decompress(stream)
+		if err != nil {
+			t.Fatalf("rel=%g: %v", rel, err)
+		}
+		if err := compressor.CheckBound(f, g, eb); err != nil {
+			t.Fatalf("rel=%g: bound violated: %v", rel, err)
+		}
+	}
+}
+
+func TestRoundTripBoundRough(t *testing.T) {
+	c := New()
+	f := roughField(5000, 2)
+	eb := compressor.AbsBound(f, 1e-3)
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, eb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneRatio(t *testing.T) {
+	c := New()
+	f := smoothField(64, 64, 1, 3)
+	var prev float64
+	for _, rel := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+		stream, err := c.Compress(f, compressor.AbsBound(f, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := compressor.Ratio(f, stream)
+		if ratio < prev {
+			t.Fatalf("ratio decreased when eb grew: %g -> %g at rel=%g", prev, ratio, rel)
+		}
+		prev = ratio
+	}
+	if prev < 2 {
+		t.Fatalf("loose-bound ratio only %g, expected meaningful compression", prev)
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	c := New()
+	f := field.New("const", 1000, 1, 1)
+	for i := range f.Data {
+		f.Data[i] = 3.25
+	}
+	stream, err := c.Compress(f, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := compressor.Ratio(f, stream); ratio < 50 {
+		t.Fatalf("constant field ratio = %g, want >= 50", ratio)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, 0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyErrorBoundFallsBackToRaw(t *testing.T) {
+	c := New()
+	f := roughField(300, 4)
+	eb := 1e-12 // far below float32 resolution of the data
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw fallback is exact.
+	if err := f.Equalish(g, 0); err != nil {
+		t.Fatalf("raw fallback not lossless: %v", err)
+	}
+}
+
+func TestShortTailBlock(t *testing.T) {
+	c := New()
+	f := roughField(BlockSize+7, 5)
+	eb := compressor.AbsBound(f, 1e-2)
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, eb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSampleField(t *testing.T) {
+	c := New()
+	f := field.FromData("one", 1, 1, 1, []float32{42})
+	stream, err := c.Compress(f, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(g.Data[0])-42) > 0.5 {
+		t.Fatalf("got %v", g.Data[0])
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	c := New()
+	f := smoothField(8, 8, 1, 6)
+	for _, eb := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := c.Compress(f, eb); err == nil {
+			t.Errorf("eb=%v accepted", eb)
+		}
+	}
+	nan := f.Clone()
+	nan.Data[3] = float32(math.NaN())
+	if _, err := c.Compress(nan, 0.1); err == nil {
+		t.Error("NaN field accepted")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	c := New()
+	cases := [][]byte{nil, {1, 2, 3}, make([]byte, 21)}
+	for i, s := range cases {
+		if _, err := c.Decompress(s); err == nil {
+			t.Errorf("case %d: corrupt stream accepted", i)
+		}
+	}
+	// Wrong magic.
+	f := smoothField(8, 8, 1, 7)
+	stream, err := c.Compress(f, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), stream...)
+	bad[0] = 0xFF
+	if _, err := c.Decompress(bad); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	// Truncated payload.
+	if _, err := c.Decompress(stream[:len(stream)-4]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestEstimateBlockBitsMatchesEncoder(t *testing.T) {
+	f := smoothField(64, 32, 1, 8)
+	eb := compressor.AbsBound(f, 1e-3)
+	c := New()
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var estBits uint64
+	for start := 0; start < len(f.Data); start += BlockSize {
+		end := start + BlockSize
+		if end > len(f.Data) {
+			end = len(f.Data)
+		}
+		estBits += EstimateBlockBits(f.Data[start:end], eb)
+	}
+	// Stream = header(25) + bitlen(8) + payload bytes.
+	payloadBytes := len(stream) - 25 - 8
+	wantBytes := int((estBits + 7) / 8)
+	if diff := payloadBytes - wantBytes; diff < -8 || diff > 8 {
+		t.Fatalf("estimator %d bytes vs encoder %d bytes", wantBytes, payloadBytes)
+	}
+}
+
+func TestSmootherDataCompressesBetter(t *testing.T) {
+	c := New()
+	smooth := smoothField(64, 64, 1, 9)
+	rough := roughField(64*64, 10)
+	// Use the same absolute bound scale for a fair comparison.
+	ebS := compressor.AbsBound(smooth, 1e-2)
+	ebR := compressor.AbsBound(rough, 1e-2)
+	ss, err := c.Compress(smooth, ebS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := c.Compress(rough, ebR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressor.Ratio(smooth, ss) <= compressor.Ratio(rough, sr) {
+		t.Fatalf("smooth ratio %g <= rough ratio %g",
+			compressor.Ratio(smooth, ss), compressor.Ratio(rough, sr))
+	}
+}
+
+func TestQuickRoundTripBound(t *testing.T) {
+	c := New()
+	f := func(seed uint64, n16 uint16, ebExp uint8) bool {
+		rng := xrand.New(seed)
+		n := int(n16%2000) + 1
+		fl := field.New("q", n, 1, 1)
+		for i := range fl.Data {
+			fl.Data[i] = float32(rng.Range(-100, 100))
+		}
+		eb := math.Pow(10, -float64(ebExp%5)) // 1 .. 1e-4
+		stream, err := c.Compress(fl, eb)
+		if err != nil {
+			return false
+		}
+		g, err := c.Decompress(stream)
+		if err != nil {
+			return false
+		}
+		return compressor.CheckBound(fl, g, eb) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	c := New()
+	f := smoothField(64, 64, 64, 1)
+	eb := compressor.AbsBound(f, 1e-3)
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(f, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	c := New()
+	f := smoothField(64, 64, 64, 1)
+	eb := compressor.AbsBound(f, 1e-3)
+	stream, err := c.Compress(f, eb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package wavelet implements the multi-level CDF 9/7 discrete wavelet
+// transform (the transform SPERR uses) via the standard four-step lifting
+// scheme with symmetric boundary extension. Transforms are provided for 1D
+// signals and for 2D/3D grids as separable dimension-by-dimension passes.
+package wavelet
+
+import "fmt"
+
+// CDF 9/7 lifting coefficients (Daubechies & Sweldens factorization).
+const (
+	alpha = -1.586134342059924
+	beta  = -0.052980118572961
+	gamma = 0.882911075530934
+	delta = 0.443506852043971
+	kappa = 1.230174104914001
+)
+
+// mirror reflects index i into [0, n) with whole-sample symmetric extension.
+func mirror(i, n int) int {
+	if n == 1 {
+		return 0
+	}
+	period := 2 * (n - 1)
+	i %= period
+	if i < 0 {
+		i += period
+	}
+	if i >= n {
+		i = period - i
+	}
+	return i
+}
+
+// Forward1D applies one level of the CDF 9/7 transform in place, then
+// de-interleaves: x[0:ceil(n/2)] holds the low-pass (approximation) band and
+// x[ceil(n/2):] the high-pass (detail) band. Signals of length < 2 are
+// returned unchanged.
+func Forward1D(x []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	at := func(i int) float64 { return x[mirror(i, n)] }
+	// Predict 1.
+	for i := 1; i < n; i += 2 {
+		x[i] += alpha * (at(i-1) + at(i+1))
+	}
+	// Update 1.
+	for i := 0; i < n; i += 2 {
+		x[i] += beta * (at(i-1) + at(i+1))
+	}
+	// Predict 2.
+	for i := 1; i < n; i += 2 {
+		x[i] += gamma * (at(i-1) + at(i+1))
+	}
+	// Update 2.
+	for i := 0; i < n; i += 2 {
+		x[i] += delta * (at(i-1) + at(i+1))
+	}
+	// Scale.
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x[i] *= kappa
+		} else {
+			x[i] /= kappa
+		}
+	}
+	deinterleave(x)
+}
+
+// Inverse1D reverses Forward1D.
+func Inverse1D(x []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	interleave(x)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x[i] /= kappa
+		} else {
+			x[i] *= kappa
+		}
+	}
+	at := func(i int) float64 { return x[mirror(i, n)] }
+	for i := 0; i < n; i += 2 {
+		x[i] -= delta * (at(i-1) + at(i+1))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] -= gamma * (at(i-1) + at(i+1))
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] -= beta * (at(i-1) + at(i+1))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] -= alpha * (at(i-1) + at(i+1))
+	}
+}
+
+func deinterleave(x []float64) {
+	n := len(x)
+	nLow := (n + 1) / 2
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			tmp[i/2] = x[i]
+		} else {
+			tmp[nLow+i/2] = x[i]
+		}
+	}
+	copy(x, tmp)
+}
+
+func interleave(x []float64) {
+	n := len(x)
+	nLow := (n + 1) / 2
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			tmp[i] = x[i/2]
+		} else {
+			tmp[i] = x[nLow+i/2]
+		}
+	}
+	copy(x, tmp)
+}
+
+// Levels returns the number of dyadic decomposition levels appropriate for a
+// signal of length n (stop when the approximation band would drop below 8
+// samples, as SPERR does).
+func Levels(n int) int {
+	levels := 0
+	for n >= 16 {
+		n = (n + 1) / 2
+		levels++
+	}
+	return levels
+}
+
+// Grid is a 3D array of float64 coefficients with x fastest. 2D data uses
+// Nz == 1. It is the working buffer for the SPERR transform stage.
+type Grid struct {
+	Nx, Ny, Nz int
+	Data       []float64
+}
+
+// NewGrid allocates a zeroed grid.
+func NewGrid(nx, ny, nz int) *Grid {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("wavelet: invalid grid %dx%dx%d", nx, ny, nz))
+	}
+	return &Grid{Nx: nx, Ny: ny, Nz: nz, Data: make([]float64, nx*ny*nz)}
+}
+
+func (g *Grid) idx(x, y, z int) int { return (z*g.Ny+y)*g.Nx + x }
+
+// Forward applies `levels` levels of the separable 9/7 transform in place.
+// Level l transforms the low-pass corner sub-grid of dimensions
+// ceil(N/2^l) along each non-trivial axis.
+func (g *Grid) Forward(levels int) {
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+	buf := make([]float64, maxInt(nx, maxInt(ny, nz)))
+	for l := 0; l < levels; l++ {
+		if nx >= 2 {
+			for z := 0; z < nz; z++ {
+				for y := 0; y < ny; y++ {
+					row := buf[:nx]
+					base := g.idx(0, y, z)
+					copy(row, g.Data[base:base+nx])
+					Forward1D(row)
+					copy(g.Data[base:base+nx], row)
+				}
+			}
+		}
+		if ny >= 2 {
+			for z := 0; z < nz; z++ {
+				for x := 0; x < nx; x++ {
+					col := buf[:ny]
+					for y := 0; y < ny; y++ {
+						col[y] = g.Data[g.idx(x, y, z)]
+					}
+					Forward1D(col)
+					for y := 0; y < ny; y++ {
+						g.Data[g.idx(x, y, z)] = col[y]
+					}
+				}
+			}
+		}
+		if nz >= 2 {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					pil := buf[:nz]
+					for z := 0; z < nz; z++ {
+						pil[z] = g.Data[g.idx(x, y, z)]
+					}
+					Forward1D(pil)
+					for z := 0; z < nz; z++ {
+						g.Data[g.idx(x, y, z)] = pil[z]
+					}
+				}
+			}
+		}
+		nx, ny, nz = nextDim(nx), nextDim(ny), nextDim(nz)
+	}
+}
+
+// Inverse reverses Forward with the same level count.
+func (g *Grid) Inverse(levels int) {
+	// Recompute the per-level sub-dimensions, then undo levels in reverse.
+	type dims struct{ nx, ny, nz int }
+	seq := make([]dims, levels)
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+	for l := 0; l < levels; l++ {
+		seq[l] = dims{nx, ny, nz}
+		nx, ny, nz = nextDim(nx), nextDim(ny), nextDim(nz)
+	}
+	buf := make([]float64, maxInt(g.Nx, maxInt(g.Ny, g.Nz)))
+	for l := levels - 1; l >= 0; l-- {
+		d := seq[l]
+		if d.nz >= 2 {
+			for y := 0; y < d.ny; y++ {
+				for x := 0; x < d.nx; x++ {
+					pil := buf[:d.nz]
+					for z := 0; z < d.nz; z++ {
+						pil[z] = g.Data[g.idx(x, y, z)]
+					}
+					Inverse1D(pil)
+					for z := 0; z < d.nz; z++ {
+						g.Data[g.idx(x, y, z)] = pil[z]
+					}
+				}
+			}
+		}
+		if d.ny >= 2 {
+			for z := 0; z < d.nz; z++ {
+				for x := 0; x < d.nx; x++ {
+					col := buf[:d.ny]
+					for y := 0; y < d.ny; y++ {
+						col[y] = g.Data[g.idx(x, y, z)]
+					}
+					Inverse1D(col)
+					for y := 0; y < d.ny; y++ {
+						g.Data[g.idx(x, y, z)] = col[y]
+					}
+				}
+			}
+		}
+		if d.nx >= 2 {
+			for z := 0; z < d.nz; z++ {
+				for y := 0; y < d.ny; y++ {
+					row := buf[:d.nx]
+					base := g.idx(0, y, z)
+					copy(row, g.Data[base:base+d.nx])
+					Inverse1D(row)
+					copy(g.Data[base:base+d.nx], row)
+				}
+			}
+		}
+	}
+}
+
+func nextDim(n int) int {
+	if n < 2 {
+		return n
+	}
+	return (n + 1) / 2
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carol/internal/xrand"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestMirror(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0, 5, 0}, {4, 5, 4}, {5, 5, 3}, {6, 5, 2}, {-1, 5, 1}, {-2, 5, 2},
+		{8, 5, 0}, {0, 1, 0}, {-7, 1, 0},
+	}
+	for _, c := range cases {
+		if got := mirror(c.i, c.n); got != c.want {
+			t.Errorf("mirror(%d, %d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForwardInverse1DEven(t *testing.T) {
+	rng := xrand.New(1)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.Norm()
+	}
+	orig := append([]float64(nil), x...)
+	Forward1D(x)
+	Inverse1D(x)
+	if d := maxAbsDiff(x, orig); d > 1e-10 {
+		t.Fatalf("even-length round trip error %g", d)
+	}
+}
+
+func TestForwardInverse1DOdd(t *testing.T) {
+	rng := xrand.New(2)
+	for _, n := range []int{3, 5, 7, 17, 33, 101} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Norm()
+		}
+		orig := append([]float64(nil), x...)
+		Forward1D(x)
+		Inverse1D(x)
+		if d := maxAbsDiff(x, orig); d > 1e-9 {
+			t.Fatalf("n=%d round trip error %g", n, d)
+		}
+	}
+}
+
+func TestShortSignalsUnchanged(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 3.5
+		}
+		Forward1D(x)
+		Inverse1D(x)
+		for _, v := range x {
+			if v != 3.5 {
+				t.Fatalf("short signal modified: %v", x)
+			}
+		}
+	}
+}
+
+func TestSmoothSignalEnergyCompaction(t *testing.T) {
+	// For a smooth signal, the detail band must carry far less energy than
+	// the approximation band — that is the property SPERR exploits.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / float64(n))
+	}
+	Forward1D(x)
+	nLow := (n + 1) / 2
+	var eLow, eHigh float64
+	for i, v := range x {
+		if i < nLow {
+			eLow += v * v
+		} else {
+			eHigh += v * v
+		}
+	}
+	if eHigh > eLow/100 {
+		t.Fatalf("detail energy %g not ≪ approximation energy %g", eHigh, eLow)
+	}
+}
+
+func TestConstantSignalZeroDetails(t *testing.T) {
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = 7
+	}
+	Forward1D(x)
+	for i := 16; i < 32; i++ {
+		if math.Abs(x[i]) > 1e-12 {
+			t.Fatalf("constant signal produced detail %g at %d", x[i], i)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {8, 0}, {15, 0}, {16, 1}, {31, 2}, {32, 2}, {64, 3}, {512, 6},
+	}
+	for _, c := range cases {
+		if got := Levels(c.n); got != c.want {
+			t.Errorf("Levels(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGridRoundTrip3D(t *testing.T) {
+	rng := xrand.New(3)
+	g := NewGrid(17, 12, 9)
+	for i := range g.Data {
+		g.Data[i] = rng.Norm()
+	}
+	orig := append([]float64(nil), g.Data...)
+	levels := 2
+	g.Forward(levels)
+	g.Inverse(levels)
+	if d := maxAbsDiff(g.Data, orig); d > 1e-9 {
+		t.Fatalf("3D grid round trip error %g", d)
+	}
+}
+
+func TestGridRoundTrip2D(t *testing.T) {
+	rng := xrand.New(4)
+	g := NewGrid(33, 21, 1)
+	for i := range g.Data {
+		g.Data[i] = rng.Norm() * 100
+	}
+	orig := append([]float64(nil), g.Data...)
+	g.Forward(3)
+	g.Inverse(3)
+	if d := maxAbsDiff(g.Data, orig); d > 1e-8 {
+		t.Fatalf("2D grid round trip error %g", d)
+	}
+}
+
+func TestGridForwardChangesData(t *testing.T) {
+	g := NewGrid(16, 16, 1)
+	for i := range g.Data {
+		g.Data[i] = float64(i % 7)
+	}
+	orig := append([]float64(nil), g.Data...)
+	g.Forward(1)
+	if maxAbsDiff(g.Data, orig) == 0 {
+		t.Fatal("Forward was a no-op")
+	}
+}
+
+func TestGridSmooth3DCompaction(t *testing.T) {
+	// Smooth 3D field: after 2 levels, coefficients outside the low corner
+	// must be small relative to those inside.
+	n := 32
+	g := NewGrid(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				g.Data[g.idx(x, y, z)] = math.Sin(float64(x)/8) * math.Cos(float64(y)/9) * math.Sin(float64(z)/7+1)
+			}
+		}
+	}
+	g.Forward(2)
+	corner := n / 4
+	var eIn, eOut float64
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				v := g.Data[g.idx(x, y, z)]
+				if x < corner && y < corner && z < corner {
+					eIn += v * v
+				} else {
+					eOut += v * v
+				}
+			}
+		}
+	}
+	if eOut > eIn/50 {
+		t.Fatalf("3D energy not compacted: corner %g vs rest %g", eIn, eOut)
+	}
+}
+
+func TestNewGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGrid(0, 4, 4)
+}
+
+func TestQuick1DRoundTrip(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%500) + 2
+		rng := xrand.New(seed)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Range(-1000, 1000)
+		}
+		orig := append([]float64(nil), x...)
+		Forward1D(x)
+		Inverse1D(x)
+		return maxAbsDiff(x, orig) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGridRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nx, ny, nz := rng.Intn(30)+2, rng.Intn(30)+2, rng.Intn(10)+1
+		g := NewGrid(nx, ny, nz)
+		for i := range g.Data {
+			g.Data[i] = rng.Norm()
+		}
+		orig := append([]float64(nil), g.Data...)
+		levels := rng.Intn(3) + 1
+		g.Forward(levels)
+		g.Inverse(levels)
+		return maxAbsDiff(g.Data, orig) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGridForward3D(b *testing.B) {
+	g := NewGrid(64, 64, 64)
+	rng := xrand.New(1)
+	for i := range g.Data {
+		g.Data[i] = rng.Norm()
+	}
+	b.SetBytes(int64(8 * len(g.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Forward(3)
+		g.Inverse(3)
+	}
+}

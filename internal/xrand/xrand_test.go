@@ -1,0 +1,202 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(99)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(11)
+	var sum, sumsq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	n1, n2 := NewNoise(123), NewNoise(123)
+	for i := 0; i < 500; i++ {
+		x, y, z := float64(i)*0.37, float64(i)*0.11, float64(i)*0.53
+		v1, v2 := n1.At(x, y, z), n2.At(x, y, z)
+		if v1 != v2 {
+			t.Fatalf("noise not deterministic at %d", i)
+		}
+		if v1 < -1.0001 || v1 > 1.0001 {
+			t.Fatalf("noise out of range: %v", v1)
+		}
+	}
+}
+
+func TestNoiseContinuity(t *testing.T) {
+	n := NewNoise(77)
+	// Adjacent samples at small spacing must be close (smoothness).
+	const h = 1e-3
+	for i := 0; i < 200; i++ {
+		x := float64(i) * 0.193
+		d := math.Abs(n.At(x, 1.5, 2.5) - n.At(x+h, 1.5, 2.5))
+		if d > 0.02 {
+			t.Fatalf("noise discontinuous at x=%v: jump %v", x, d)
+		}
+	}
+}
+
+func TestFBmBounded(t *testing.T) {
+	n := NewNoise(9)
+	for i := 0; i < 500; i++ {
+		v := n.FBm(float64(i)*0.21, float64(i)*0.13, 0.5, 5, 0.5)
+		if v < -1.0001 || v > 1.0001 {
+			t.Fatalf("FBm out of range: %v", v)
+		}
+	}
+}
+
+func TestFBmZeroOctaves(t *testing.T) {
+	n := NewNoise(9)
+	if v := n.FBm(1, 2, 3, 0, 0.5); v != 0 {
+		t.Fatalf("FBm with 0 octaves = %v, want 0", v)
+	}
+}
+
+func TestFBmRoughness(t *testing.T) {
+	// More octaves must add high-frequency energy: mean |gradient| grows.
+	n := NewNoise(31)
+	rough := func(oct int) float64 {
+		var sum float64
+		const h = 0.01
+		for i := 0; i < 500; i++ {
+			x := float64(i) * 0.113
+			sum += math.Abs(n.FBm(x+h, 0.7, 0.3, oct, 0.6) - n.FBm(x, 0.7, 0.3, oct, 0.6))
+		}
+		return sum
+	}
+	if r1, r5 := rough(1), rough(6); r5 <= r1 {
+		t.Fatalf("6-octave roughness %v not greater than 1-octave %v", r5, r1)
+	}
+}
+
+func TestQuickRangeWithin(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo <= 0 || hi-lo > 1e100 {
+			return true
+		}
+		v := New(seed).Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNoiseAt(b *testing.B) {
+	n := NewNoise(1)
+	for i := 0; i < b.N; i++ {
+		_ = n.At(float64(i)*0.01, 0.5, 0.25)
+	}
+}

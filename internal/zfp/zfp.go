@@ -1,0 +1,716 @@
+// Package zfp reimplements the ZFP transform-based lossy compressor
+// (Lindstrom, TVCG 2014) in pure Go. ZFP is the "transformation-based
+// high-throughput" compressor of the CAROL evaluation.
+//
+// The pipeline follows the original design: the field is split into blocks
+// of 4 samples per (non-trivial) dimension; each block is converted to a
+// block-floating-point fixed-point representation under a common exponent,
+// decorrelated with ZFP's non-orthogonal integer lifting transform, reordered
+// by total sequency, mapped to negabinary, and entropy-coded with ZFP's
+// embedded group-tested bit-plane code.
+//
+// Two modes are provided:
+//   - fixed accuracy (error-bounded): Compress / Decompress, the mode the
+//     CAROL framework targets;
+//   - fixed rate: CompressFixedRate / DecompressFixedRate, the baseline
+//     "fixed-ratio by construction" mode §2.2 of the paper discusses.
+package zfp
+
+import (
+	"fmt"
+	"math"
+	mbits "math/bits"
+	"sort"
+
+	"carol/internal/bitstream"
+	"carol/internal/compressor"
+	"carol/internal/field"
+)
+
+// side is the block edge length (4, as in ZFP).
+const side = 4
+
+// intBits is the fixed-point width used per coefficient.
+const intBits = 30
+
+// Codec is the fixed-accuracy ZFP compressor.
+type Codec struct{}
+
+// New returns a ZFP codec.
+func New() *Codec { return &Codec{} }
+
+// Name implements compressor.Codec.
+func (*Codec) Name() string { return "zfp" }
+
+var _ compressor.Codec = (*Codec)(nil)
+
+// blockShape describes the block geometry for a field's dimensionality.
+type blockShape struct {
+	dims  int
+	sx    int // block side along x (always 4)
+	sy    int
+	sz    int
+	size  int   // samples per block
+	perm  []int // total-sequency permutation
+	guard int   // guard bits for the error-bound -> plane cutoff
+}
+
+var shapes = [4]blockShape{1: makeShape(1), 2: makeShape(2), 3: makeShape(3)}
+
+func makeShape(dims int) blockShape {
+	sh := blockShape{dims: dims, sx: side, sy: 1, sz: 1}
+	if dims >= 2 {
+		sh.sy = side
+	}
+	if dims >= 3 {
+		sh.sz = side
+	}
+	sh.size = sh.sx * sh.sy * sh.sz
+	sh.perm = sequencyPerm(sh)
+	sh.guard = 2*(dims+1) + 1
+	return sh
+}
+
+// sequencyPerm orders block-local indices by total coordinate sum (low
+// sequency first), matching ZFP's energy-concentrating traversal.
+func sequencyPerm(sh blockShape) []int {
+	perm := make([]int, sh.size)
+	for i := range perm {
+		perm[i] = i
+	}
+	coordSum := func(i int) int {
+		x := i % sh.sx
+		y := (i / sh.sx) % sh.sy
+		z := i / (sh.sx * sh.sy)
+		return x + y + z
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		sa, sb := coordSum(perm[a]), coordSum(perm[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return perm[a] < perm[b]
+	})
+	return perm
+}
+
+// fwdLift applies ZFP's forward decorrelating lifting to 4 values at stride s.
+func fwdLift(p []int32, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// invLift reverses fwdLift.
+func invLift(p []int32, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+func fwdXform(blk []int32, sh blockShape) {
+	for i := 0; i < sh.size; i += side {
+		fwdLift(blk, i, 1)
+	}
+	if sh.dims >= 2 {
+		for z := 0; z < sh.sz; z++ {
+			for x := 0; x < sh.sx; x++ {
+				fwdLift(blk, z*sh.sx*sh.sy+x, sh.sx)
+			}
+		}
+	}
+	if sh.dims >= 3 {
+		for y := 0; y < sh.sy; y++ {
+			for x := 0; x < sh.sx; x++ {
+				fwdLift(blk, y*sh.sx+x, sh.sx*sh.sy)
+			}
+		}
+	}
+}
+
+func invXform(blk []int32, sh blockShape) {
+	if sh.dims >= 3 {
+		for y := 0; y < sh.sy; y++ {
+			for x := 0; x < sh.sx; x++ {
+				invLift(blk, y*sh.sx+x, sh.sx*sh.sy)
+			}
+		}
+	}
+	if sh.dims >= 2 {
+		for z := 0; z < sh.sz; z++ {
+			for x := 0; x < sh.sx; x++ {
+				invLift(blk, z*sh.sx*sh.sy+x, sh.sx)
+			}
+		}
+	}
+	for i := 0; i < sh.size; i += side {
+		invLift(blk, i, 1)
+	}
+}
+
+// int32 <-> negabinary uint32.
+const nbMask = 0xaaaaaaaa
+
+func int2nb(i int32) uint32 { return (uint32(i) + nbMask) ^ nbMask }
+func nb2int(u uint32) int32 { return int32((u ^ nbMask) - nbMask) }
+
+// encodePlanes writes the embedded bit-plane code for the (sequency-ordered)
+// negabinary coefficients, from plane 31 down to kmin. budget < 0 means
+// unlimited. Returns bits written.
+func encodePlanes(w *bitstream.Writer, u []uint32, kmin int, budget int64) int64 {
+	size := len(u)
+	// Transpose coefficients into per-plane masks, touching each set bit
+	// exactly once.
+	var planes [32]uint64
+	for i, c := range u {
+		for c != 0 {
+			k := mbits.TrailingZeros32(c)
+			planes[k] |= 1 << uint(i)
+			c &= c - 1
+		}
+	}
+	var written int64
+	emit := func(bit uint64) bool {
+		if budget >= 0 && written >= budget {
+			return false
+		}
+		w.WriteBits(bit, 1)
+		written++
+		return true
+	}
+	n := 0
+	for k := 31; k >= kmin; k-- {
+		x := planes[k]
+		// Verbatim bits for the first n coefficients, batched. The stream
+		// order is coefficient 0 first, so reverse the low n bits.
+		if n > 0 {
+			m := n
+			if budget >= 0 && written+int64(m) > budget {
+				m = int(budget - written)
+			}
+			if m > 0 {
+				w.WriteBits(mbits.Reverse64(x)>>uint(64-m), uint(m))
+				written += int64(m)
+			}
+			if m < n {
+				return written
+			}
+		}
+		i := n
+		for i < size {
+			rem := x >> uint(i)
+			if rem == 0 {
+				if !emit(0) {
+					return written
+				}
+				break
+			}
+			if !emit(1) {
+				return written
+			}
+			for i < size-1 {
+				b := (x >> uint(i)) & 1
+				if !emit(b) {
+					return written
+				}
+				if b != 0 {
+					break
+				}
+				i++
+			}
+			i++
+		}
+		n = i
+	}
+	return written
+}
+
+// decodePlanes mirrors encodePlanes. budget < 0 means unlimited; when the
+// budget (or the stream) is exhausted, the partially decoded plane is
+// discarded and remaining planes decode as zero.
+func decodePlanes(r *bitstream.Reader, u []uint32, kmin int, budget int64) int64 {
+	size := len(u)
+	var consumed int64
+	grab := func() (uint64, bool) {
+		if budget >= 0 && consumed >= budget {
+			return 0, false
+		}
+		b, err := r.ReadBits(1)
+		if err != nil {
+			return 0, false
+		}
+		consumed++
+		return b, true
+	}
+	n := 0
+planes:
+	for k := 31; k >= kmin; k-- {
+		var x uint64
+		if n > 0 {
+			// Batched verbatim bits (reverse of the encoder's order).
+			if budget >= 0 && consumed+int64(n) > budget {
+				break planes
+			}
+			v, err := r.ReadBits(uint(n))
+			if err != nil {
+				break planes
+			}
+			consumed += int64(n)
+			x = mbits.Reverse64(v << uint(64-n))
+		}
+		i := n
+		for i < size {
+			gb, ok := grab()
+			if !ok {
+				break planes
+			}
+			if gb == 0 {
+				break
+			}
+			found := false
+			for i < size-1 {
+				b, ok := grab()
+				if !ok {
+					break planes
+				}
+				if b != 0 {
+					x |= 1 << uint(i)
+					found = true
+					break
+				}
+				i++
+			}
+			if !found {
+				x |= 1 << uint(size-1)
+				i = size - 1
+			}
+			i++
+		}
+		n = i
+		for j := range u {
+			u[j] |= uint32((x>>uint(j))&1) << uint(k)
+		}
+	}
+	return consumed
+}
+
+// gatherBlock copies the block at (bx, by, bz) into blk (float64), padding
+// partial blocks by edge replication.
+func gatherBlock(f *field.Field, sh blockShape, bx, by, bz int, blk []float64) {
+	for z := 0; z < sh.sz; z++ {
+		zz := bz + z
+		if zz >= f.Nz {
+			zz = f.Nz - 1
+		}
+		for y := 0; y < sh.sy; y++ {
+			yy := by + y
+			if yy >= f.Ny {
+				yy = f.Ny - 1
+			}
+			for x := 0; x < sh.sx; x++ {
+				xx := bx + x
+				if xx >= f.Nx {
+					xx = f.Nx - 1
+				}
+				blk[(z*sh.sy+y)*sh.sx+x] = float64(f.At(xx, yy, zz))
+			}
+		}
+	}
+}
+
+// scatterBlock writes the valid region of blk back into f.
+func scatterBlock(f *field.Field, sh blockShape, bx, by, bz int, blk []float64) {
+	for z := 0; z < sh.sz && bz+z < f.Nz; z++ {
+		for y := 0; y < sh.sy && by+y < f.Ny; y++ {
+			for x := 0; x < sh.sx && bx+x < f.Nx; x++ {
+				f.Set(bx+x, by+y, bz+z, float32(blk[(z*sh.sy+y)*sh.sx+x]))
+			}
+		}
+	}
+}
+
+// blockEmax returns the common block exponent: the smallest e with
+// max|v| <= 2^e. Returns ok=false for an all-zero block.
+func blockEmax(blk []float64) (int, bool) {
+	var m float64
+	for _, v := range blk {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 0, false
+	}
+	_, e := math.Frexp(m) // m = f * 2^e, f in [0.5, 1)
+	return e, true
+}
+
+// planeCutoff returns the lowest bit plane that must be kept so the total
+// reconstruction error stays below eb.
+func planeCutoff(emax int, eb float64, sh blockShape) int {
+	// Fixed-point LSB magnitude is 2^(emax-intBits); plane k contributes up
+	// to ~2^k LSBs; the inverse transform amplifies by at most ~2^(dims+1).
+	lsb := math.Ldexp(1, emax-intBits)
+	return int(math.Floor(math.Log2(eb/lsb))) - sh.guard
+}
+
+func transformToNB(blk []float64, sh blockShape, emax int, u []uint32) {
+	scale := math.Ldexp(1, intBits-emax)
+	var intsBuf [64]int32
+	ints := intsBuf[:sh.size]
+	for i, v := range blk {
+		q := v * scale
+		if q > (1<<intBits)-1 {
+			q = (1 << intBits) - 1
+		} else if q < -(1 << intBits) {
+			q = -(1 << intBits)
+		}
+		ints[i] = int32(q)
+	}
+	fwdXform(ints, sh)
+	for i, p := range sh.perm {
+		u[i] = int2nb(ints[p])
+	}
+}
+
+func nbToSamples(u []uint32, sh blockShape, emax int, blk []float64) {
+	var intsBuf [64]int32
+	ints := intsBuf[:sh.size]
+	for i, p := range sh.perm {
+		ints[p] = nb2int(u[i])
+	}
+	invXform(ints, sh)
+	scale := math.Ldexp(1, emax-intBits)
+	for i, q := range ints {
+		blk[i] = float64(q) * scale
+	}
+}
+
+// encodeBlock writes one block in fixed-accuracy mode.
+//
+// Layout: 1 zero-block bit; if nonzero: 1 raw bit; raw blocks carry 32 bits
+// per sample; coded blocks carry a 16-bit biased exponent, a 6-bit plane
+// cutoff (63 = nothing coded), then the embedded planes.
+func encodeBlock(w *bitstream.Writer, blk []float64, sh blockShape, eb float64) {
+	emax, ok := blockEmax(blk)
+	if !ok {
+		w.WriteBit(1)
+		return
+	}
+	w.WriteBit(0)
+	kmin := planeCutoff(emax, eb, sh)
+	switch {
+	case kmin > 31:
+		if math.Ldexp(1, emax) <= eb {
+			// All content below the bound: decode as zeros.
+			w.WriteBit(0)
+			w.WriteBits(uint64(emax+1024), 16)
+			w.WriteBits(63, 6)
+			return
+		}
+		writeRawBlock(w, blk)
+	case kmin < 0:
+		// eb finer than fixed-point resolution: store raw.
+		writeRawBlock(w, blk)
+	default:
+		w.WriteBit(0)
+		w.WriteBits(uint64(emax+1024), 16)
+		w.WriteBits(uint64(kmin), 6)
+		var uBuf [64]uint32
+		u := uBuf[:sh.size]
+		transformToNB(blk, sh, emax, u)
+		encodePlanes(w, u, kmin, -1)
+	}
+}
+
+func writeRawBlock(w *bitstream.Writer, blk []float64) {
+	w.WriteBit(1)
+	for _, v := range blk {
+		w.WriteBits(uint64(math.Float32bits(float32(v))), 32)
+	}
+}
+
+func decodeBlock(r *bitstream.Reader, blk []float64, sh blockShape) error {
+	zero, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("%w: zfp block flag: %v", compressor.ErrBadStream, err)
+	}
+	if zero == 1 {
+		zeroFill(blk)
+		return nil
+	}
+	raw, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("%w: zfp raw flag: %v", compressor.ErrBadStream, err)
+	}
+	if raw == 1 {
+		for i := range blk {
+			b, err := r.ReadBits(32)
+			if err != nil {
+				return fmt.Errorf("%w: zfp raw sample: %v", compressor.ErrBadStream, err)
+			}
+			blk[i] = float64(math.Float32frombits(uint32(b)))
+		}
+		return nil
+	}
+	e64, err := r.ReadBits(16)
+	if err != nil {
+		return fmt.Errorf("%w: zfp exponent: %v", compressor.ErrBadStream, err)
+	}
+	emax := int(e64) - 1024
+	k64, err := r.ReadBits(6)
+	if err != nil {
+		return fmt.Errorf("%w: zfp kmin: %v", compressor.ErrBadStream, err)
+	}
+	kmin := int(k64)
+	if kmin == 63 {
+		zeroFill(blk)
+		return nil
+	}
+	if kmin > 31 {
+		return fmt.Errorf("%w: zfp kmin %d", compressor.ErrBadStream, kmin)
+	}
+	var uBuf [64]uint32
+	u := uBuf[:sh.size]
+	decodePlanes(r, u, kmin, -1)
+	nbToSamples(u, sh, emax, blk)
+	return nil
+}
+
+func zeroFill(blk []float64) {
+	for i := range blk {
+		blk[i] = 0
+	}
+}
+
+// Compress implements compressor.Codec (fixed-accuracy mode).
+func (*Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
+	if err := compressor.ValidateArgs(f, eb); err != nil {
+		return nil, err
+	}
+	sh := shapes[f.Dims()]
+	w := bitstream.NewWriter(f.SizeBytes() / 4)
+	blk := make([]float64, sh.size)
+	for bz := 0; bz < f.Nz; bz += sh.sz {
+		for by := 0; by < f.Ny; by += sh.sy {
+			for bx := 0; bx < f.Nx; bx += sh.sx {
+				gatherBlock(f, sh, bx, by, bz, blk)
+				encodeBlock(w, blk, sh, eb)
+			}
+		}
+	}
+	return sealStream(compressor.MagicZFP, f, eb, w), nil
+}
+
+// sealStream assembles header + bit length + payload.
+func sealStream(magic byte, f *field.Field, eb float64, w *bitstream.Writer) []byte {
+	out := compressor.AppendHeader(nil, compressor.Header{
+		Magic: magic, Nx: f.Nx, Ny: f.Ny, Nz: f.Nz, EB: eb,
+	})
+	bits := w.BitLen()
+	var lenBuf [8]byte
+	for i := 0; i < 8; i++ {
+		lenBuf[i] = byte(bits >> (56 - 8*i))
+	}
+	out = append(out, lenBuf[:]...)
+	return append(out, w.Bytes()...)
+}
+
+func openStream(stream []byte, magic byte) (compressor.Header, *bitstream.Reader, error) {
+	h, rest, err := compressor.ParseHeader(stream, magic)
+	if err != nil {
+		return compressor.Header{}, nil, err
+	}
+	if len(rest) < 8 {
+		return compressor.Header{}, nil, fmt.Errorf("%w: missing bit length", compressor.ErrBadStream)
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits = bits<<8 | uint64(rest[i])
+	}
+	if bits > uint64(len(rest)-8)*8 {
+		return compressor.Header{}, nil, fmt.Errorf("%w: bit length exceeds payload", compressor.ErrBadStream)
+	}
+	return h, bitstream.NewReader(rest[8:], bits), nil
+}
+
+// Decompress implements compressor.Codec.
+func (*Codec) Decompress(stream []byte) (*field.Field, error) {
+	h, r, err := openStream(stream, compressor.MagicZFP)
+	if err != nil {
+		return nil, err
+	}
+	f := field.New("zfp", h.Nx, h.Ny, h.Nz)
+	sh := shapes[f.Dims()]
+	blk := make([]float64, sh.size)
+	for bz := 0; bz < f.Nz; bz += sh.sz {
+		for by := 0; by < f.Ny; by += sh.sy {
+			for bx := 0; bx < f.Nx; bx += sh.sx {
+				if err := decodeBlock(r, blk, sh); err != nil {
+					return nil, err
+				}
+				scatterBlock(f, sh, bx, by, bz, blk)
+			}
+		}
+	}
+	return f, nil
+}
+
+// CompressFixedRate encodes f at a fixed rate of `rate` bits per sample
+// (the GPU-ZFP mode of §2.2). The achieved compression ratio is exactly
+// 32/rate regardless of content; reconstruction error is NOT bounded.
+func CompressFixedRate(f *field.Field, rate float64) ([]byte, error) {
+	if err := compressor.ValidateArgs(f, 1); err != nil {
+		return nil, err
+	}
+	sh := shapes[f.Dims()]
+	budget := int64(rate * float64(sh.size))
+	minBits := int64(16 + 1) // exponent + zero flag
+	if budget < minBits {
+		budget = minBits
+	}
+	w := bitstream.NewWriter(f.SizeBytes() / 4)
+	blk := make([]float64, sh.size)
+	u := make([]uint32, sh.size)
+	for bz := 0; bz < f.Nz; bz += sh.sz {
+		for by := 0; by < f.Ny; by += sh.sy {
+			for bx := 0; bx < f.Nx; bx += sh.sx {
+				gatherBlock(f, sh, bx, by, bz, blk)
+				start := int64(w.BitLen())
+				emax, ok := blockEmax(blk)
+				if !ok {
+					w.WriteBit(1)
+				} else {
+					w.WriteBit(0)
+					w.WriteBits(uint64(emax+1024), 16)
+					for i := range u {
+						u[i] = 0
+					}
+					transformToNB(blk, sh, emax, u)
+					used := int64(w.BitLen()) - start
+					encodePlanes(w, u, 0, budget-used)
+				}
+				// Pad the block to exactly `budget` bits.
+				for int64(w.BitLen())-start < budget {
+					w.WriteBit(0)
+				}
+			}
+		}
+	}
+	// Encode the rate (bits-per-sample scaled by 2^16) in the EB header slot.
+	return sealStream(compressor.MagicZFP, f, rate, w), nil
+}
+
+// DecompressFixedRate reverses CompressFixedRate.
+func DecompressFixedRate(stream []byte) (*field.Field, error) {
+	h, r, err := openStream(stream, compressor.MagicZFP)
+	if err != nil {
+		return nil, err
+	}
+	f := field.New("zfp-fr", h.Nx, h.Ny, h.Nz)
+	sh := shapes[f.Dims()]
+	budget := int64(h.EB * float64(sh.size))
+	minBits := int64(16 + 1)
+	if budget < minBits {
+		budget = minBits
+	}
+	blk := make([]float64, sh.size)
+	u := make([]uint32, sh.size)
+	for bz := 0; bz < f.Nz; bz += sh.sz {
+		for by := 0; by < f.Ny; by += sh.sy {
+			for bx := 0; bx < f.Nx; bx += sh.sx {
+				start := int64(r.Consumed())
+				zero, err := r.ReadBit()
+				if err != nil {
+					return nil, fmt.Errorf("%w: zfp-fr flag: %v", compressor.ErrBadStream, err)
+				}
+				if zero == 1 {
+					zeroFill(blk)
+				} else {
+					e64, err := r.ReadBits(16)
+					if err != nil {
+						return nil, fmt.Errorf("%w: zfp-fr exponent: %v", compressor.ErrBadStream, err)
+					}
+					for i := range u {
+						u[i] = 0
+					}
+					used := int64(r.Consumed()) - start
+					decodePlanes(r, u, 0, budget-used)
+					nbToSamples(u, sh, int(e64)-1024, blk)
+				}
+				// Skip padding.
+				for int64(r.Consumed())-start < budget {
+					if _, err := r.ReadBit(); err != nil {
+						return nil, fmt.Errorf("%w: zfp-fr padding: %v", compressor.ErrBadStream, err)
+					}
+				}
+				scatterBlock(f, sh, bx, by, bz, blk)
+			}
+		}
+	}
+	return f, nil
+}
+
+// EstimateSampledBits runs the real per-block encoder on one block of every
+// `every` along each non-trivial dimension and reports the payload bits it
+// produced plus the sampled and total block counts, for compression-ratio
+// extrapolation. This is the computational core of the SECRE ZFP surrogate.
+func EstimateSampledBits(f *field.Field, eb float64, every int) (bits uint64, sampled, total int) {
+	if every < 1 {
+		every = 1
+	}
+	sh := shapes[f.Dims()]
+	blk := make([]float64, sh.size)
+	w := bitstream.NewWriter(1024)
+	stepX := sh.sx * every
+	stepY := sh.sy
+	stepZ := sh.sz
+	if f.Ny > 1 {
+		stepY *= every
+	}
+	if f.Nz > 1 {
+		stepZ *= every
+	}
+	for bz := 0; bz < f.Nz; bz += sh.sz {
+		for by := 0; by < f.Ny; by += sh.sy {
+			for bx := 0; bx < f.Nx; bx += sh.sx {
+				total++
+				if bx%stepX == 0 && by%stepY == 0 && bz%stepZ == 0 {
+					gatherBlock(f, sh, bx, by, bz, blk)
+					encodeBlock(w, blk, sh, eb)
+					sampled++
+				}
+			}
+		}
+	}
+	return w.BitLen(), sampled, total
+}
+
+// HeaderOverheadBytes is the fixed stream overhead (header + bit length).
+const HeaderOverheadBytes = 25 + 8
