@@ -1,0 +1,21 @@
+.PHONY: check build vet test race bench-rf
+
+check: ## build + vet + race-enabled tests (the tier-1 gate)
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The model-training benchmarks whose before/after numbers are committed to
+# BENCH_RF.json.
+bench-rf:
+	go test -run '^$$' -bench 'BenchmarkTrain|BenchmarkCrossValidate|BenchmarkPredict' -benchmem ./internal/rf/

@@ -205,7 +205,7 @@ func benchTrainData(b *testing.B, n int) ([][]float64, []float64) {
 func BenchmarkFig5aGridSearch(b *testing.B) {
 	X, y := benchTrainData(b, 1000)
 	for i := 0; i < b.N; i++ {
-		if _, err := gridsearch.Search(X, y, 4, 3, 1, 20); err != nil {
+		if _, err := gridsearch.Search(X, y, 4, 3, 1, 20, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

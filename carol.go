@@ -60,7 +60,10 @@ func ReadRawField(name string, nx, ny, nz int, r io.Reader) (*Field, error) {
 type Framework = core.Framework
 
 // Config tunes a Framework; the zero value reproduces the paper's defaults
-// (35-bound collection sweep, auto calibration, 10 BO iterations).
+// (35-bound collection sweep, auto calibration, 10 BO iterations). Model
+// training runs on every core by default; Config.Workers caps that CPU
+// parallelism for resource-limited hosts (1 = fully serial) without
+// changing the trained model — forests are bit-identical for every value.
 type Config = core.Config
 
 // CollectStats reports the cost of a data-collection run.

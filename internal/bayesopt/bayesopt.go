@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"carol/internal/mat"
 	"carol/internal/xrand"
@@ -115,6 +117,11 @@ type Optimizer struct {
 	// Candidates is the number of random acquisition candidates per
 	// Suggest. Default 256.
 	Candidates int
+	// Workers bounds the goroutines scoring acquisition candidates: 0 uses
+	// every core, 1 forces the serial path. Suggestions are bit-identical
+	// for every value — candidates are generated from the single RNG stream
+	// serially and only their (read-only) GP scoring is parallel.
+	Workers int
 }
 
 // New returns an optimizer over space with a deterministic seed.
@@ -334,29 +341,63 @@ func (o *Optimizer) suggestEI() []float64 {
 	}
 	bestStd := (best - model.mean) / model.std
 
-	bestEI := math.Inf(-1)
-	var bestCand []float64
-	consider := func(u []float64) {
-		mu, sigma := model.predict(u)
-		imp := mu - bestStd - o.Xi
-		z := imp / sigma
-		ei := imp*normCDF(z) + sigma*normPDF(z)
-		if ei > bestEI {
-			bestEI = ei
-			bestCand = u
-		}
-	}
+	// Generate every candidate first (exploration, then exploitation:
+	// incumbent perturbations at shrinking radii) so the RNG stream is
+	// consumed serially, then score them in parallel against the fitted GP.
+	cands := make([][]float64, 0, o.Candidates+o.Candidates/4)
 	for c := 0; c < o.Candidates; c++ {
-		consider(o.randomU())
+		cands = append(cands, o.randomU())
 	}
-	// Exploitation: perturb the incumbent at shrinking radii.
 	for c := 0; c < o.Candidates/4; c++ {
 		u := make([]float64, len(bestU))
 		radius := 0.05 + 0.15*o.rng.Float64()
 		for i := range u {
 			u[i] = clamp01(bestU[i] + radius*o.rng.Norm())
 		}
-		consider(u)
+		cands = append(cands, u)
+	}
+	eis := make([]float64, len(cands))
+	scoreRange := func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			mu, sigma := model.predict(cands[c])
+			imp := mu - bestStd - o.Xi
+			z := imp / sigma
+			eis[c] = imp*normCDF(z) + sigma*normPDF(z)
+		}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		scoreRange(0, len(cands))
+	} else {
+		chunk := (len(cands) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(cands); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scoreRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	// Argmax in generation order — identical to scoring serially.
+	bestEI := math.Inf(-1)
+	var bestCand []float64
+	for c, u := range cands {
+		if eis[c] > bestEI {
+			bestEI = eis[c]
+			bestCand = u
+		}
 	}
 	if bestCand == nil {
 		return o.randomU()

@@ -69,6 +69,13 @@ type Config struct {
 	Feedback bool
 	// FeedbackEvery is the refit cadence for Feedback. Default 8.
 	FeedbackEvery int
+	// Workers bounds the CPU parallelism of model training: tree growth,
+	// cross-validation folds, batch prediction and acquisition scoring all
+	// stay within this many goroutines. 0 uses every core, 1 forces the
+	// serial engine. Models are bit-identical for every value; the knob
+	// only trades wall-clock for CPU on resource-limited hosts. (Feature
+	// extraction has its own knob, Features.Workers.)
+	Workers int
 	// Seed drives all randomized components.
 	Seed uint64
 }
@@ -170,6 +177,7 @@ func New(name string, cfg Config) (*Framework, error) {
 func NewWith(codec compressor.Codec, surrogate compressor.Estimator, cfg Config) *Framework {
 	fw := &Framework{codec: codec, surrogate: surrogate, cfg: cfg.withDefaults()}
 	fw.opt = bayesopt.New(gridsearch.BOSpace(), fw.cfg.Seed)
+	fw.opt.Workers = fw.cfg.Workers
 	return fw
 }
 
@@ -286,6 +294,7 @@ func (fw *Framework) train(iterations int) (TrainStats, error) {
 			return stats, err
 		}
 		evalCfg := cfg
+		evalCfg.Workers = fw.cfg.Workers
 		if fw.cfg.ForestCap > 0 && evalCfg.NEstimators > fw.cfg.ForestCap {
 			evalCfg.NEstimators = fw.cfg.ForestCap
 		}
@@ -309,6 +318,7 @@ func (fw *Framework) train(iterations int) (TrainStats, error) {
 	}
 	stats.BestScore = bestScore
 	stats.BestConfig = bestCfg
+	bestCfg.Workers = fw.cfg.Workers
 	if fw.cfg.ForestCap > 0 && bestCfg.NEstimators > fw.cfg.ForestCap {
 		bestCfg.NEstimators = fw.cfg.ForestCap
 	}
@@ -363,6 +373,47 @@ func (fw *Framework) PredictErrorBound(f *field.Field, targetRatio float64) (flo
 		return 0, err
 	}
 	return trainset.EBFromTarget(pred), nil
+}
+
+// PredictErrorBounds is the batch form of PredictErrorBound: it extracts
+// f's features once and predicts the error bound for every target ratio in
+// one forest pass (rf.Forest.PredictBatch, parallel across rows). This is
+// the cheap way to build a ratio→bound curve for one field.
+func (fw *Framework) PredictErrorBounds(f *field.Field, targetRatios []float64) ([]float64, error) {
+	if fw.model == nil {
+		return nil, errors.New("core: model not trained")
+	}
+	for _, r := range targetRatios {
+		if !(r > 0) {
+			return nil, fmt.Errorf("core: invalid target ratio %g", r)
+		}
+	}
+	feat := features.ExtractParallel(f, fw.cfg.Features)
+	rows := make([][]float64, len(targetRatios))
+	for i, r := range targetRatios {
+		rows[i] = trainset.Row(feat, r)
+	}
+	var preds []float64
+	if forest, ok := fw.model.(*rf.Forest); ok {
+		var err error
+		if preds, err = forest.PredictBatch(rows); err != nil {
+			return nil, err
+		}
+	} else {
+		preds = make([]float64, len(rows))
+		for i, row := range rows {
+			p, err := fw.model.Predict(row)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+	}
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		out[i] = trainset.EBFromTarget(p)
+	}
+	return out, nil
 }
 
 // CompressToRatio predicts the error bound for targetRatio and runs the
@@ -430,6 +481,7 @@ func (fw *Framework) refit() error {
 				cfg.NEstimators = fw.cfg.ForestCap
 			}
 		}
+		cfg.Workers = fw.cfg.Workers
 		forest, err := rf.Train(X, y, cfg)
 		if err != nil {
 			return fmt.Errorf("core: feedback rf refit: %w", err)

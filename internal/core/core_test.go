@@ -227,3 +227,45 @@ func TestErrorPaths(t *testing.T) {
 		t.Fatal("zero target accepted")
 	}
 }
+
+// TestPredictErrorBoundsMatchesSingle checks the batch prediction path
+// (one feature extraction + Forest.PredictBatch) against per-ratio
+// PredictErrorBound calls, and that a Workers cap does not change results.
+func TestPredictErrorBoundsMatchesSingle(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Workers = 2
+	fw, err := New("szx", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Collect(trainFields(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Train(); err != nil {
+		t.Fatal(err)
+	}
+	test, err := dataset.Generate("miranda", "velocityx", dataset.Options{Nx: 32, Ny: 32, Nz: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := []float64{3, 10, 30, 100}
+	batch, err := fw.PredictErrorBounds(test, ratios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(ratios) {
+		t.Fatalf("batch returned %d bounds for %d ratios", len(batch), len(ratios))
+	}
+	for i, r := range ratios {
+		one, err := fw.PredictErrorBound(test, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != one {
+			t.Fatalf("ratio %g: batch %v, single %v", r, batch[i], one)
+		}
+	}
+	if _, err := fw.PredictErrorBounds(test, []float64{10, -1}); err == nil {
+		t.Fatal("negative target ratio accepted")
+	}
+}

@@ -58,7 +58,7 @@ func RunFig5a(w io.Writer, s Scale) error {
 		X, y := synthTrainingSet(n, p.seed)
 
 		gridTime, err := timeIt(func() error {
-			_, err := gridsearch.Search(X, y, p.gridCfgs, 3, p.seed, p.forestCap)
+			_, err := gridsearch.Search(X, y, p.gridCfgs, 3, p.seed, p.forestCap, 0)
 			return err
 		})
 		if err != nil {

@@ -337,10 +337,3 @@ func ExtractParallel(f *field.Field, opts ParallelOptions) Vector {
 	}
 	return finish(f, total)
 }
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

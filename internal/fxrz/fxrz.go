@@ -40,6 +40,10 @@ type Config struct {
 	// ForestCap limits NEstimators during training to keep scaled-down
 	// experiments fast; 0 means no cap.
 	ForestCap int
+	// Workers bounds the CPU parallelism of forest training and
+	// cross-validation: 0 uses every core, 1 forces the serial engine.
+	// Training output is bit-identical for every value.
+	Workers int
 	// Seed drives all randomized components.
 	Seed uint64
 }
@@ -133,11 +137,12 @@ func (fw *Framework) Train() (TrainStats, error) {
 	}
 	start := time.Now()
 	X, y := fw.set.Matrix()
-	res, err := gridsearch.Search(X, y, fw.cfg.GridConfigs, fw.cfg.KFolds, fw.cfg.Seed, fw.cfg.ForestCap)
+	res, err := gridsearch.Search(X, y, fw.cfg.GridConfigs, fw.cfg.KFolds, fw.cfg.Seed, fw.cfg.ForestCap, fw.cfg.Workers)
 	if err != nil {
 		return TrainStats{}, fmt.Errorf("fxrz: grid search: %w", err)
 	}
 	cfg := res.Config
+	cfg.Workers = fw.cfg.Workers
 	if fw.cfg.ForestCap > 0 && cfg.NEstimators > fw.cfg.ForestCap {
 		cfg.NEstimators = fw.cfg.ForestCap
 	}

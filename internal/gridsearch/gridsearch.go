@@ -62,7 +62,11 @@ type Result struct {
 // forestCap, when positive, clamps NEstimators during evaluation so that
 // scaled-down experiments stay tractable; pass 0 for the paper-faithful
 // uncapped search.
-func Search(X [][]float64, y []float64, nConfigs, k int, seed uint64, forestCap int) (Result, error) {
+//
+// workers bounds the CPU parallelism of each evaluation (tree growth and
+// CV folds): 0 uses every core, 1 forces the serial engine. The search
+// outcome is bit-identical for every value.
+func Search(X [][]float64, y []float64, nConfigs, k int, seed uint64, forestCap, workers int) (Result, error) {
 	if nConfigs < 1 {
 		return Result{}, errors.New("gridsearch: need at least one configuration")
 	}
@@ -70,6 +74,7 @@ func Search(X [][]float64, y []float64, nConfigs, k int, seed uint64, forestCap 
 	best := Result{Score: negInf}
 	for i := 0; i < nConfigs; i++ {
 		cfg := RandomConfig(rng)
+		cfg.Workers = workers
 		if forestCap > 0 && cfg.NEstimators > forestCap {
 			cfg.NEstimators = forestCap
 		}

@@ -48,7 +48,7 @@ func TestRandomConfigWithinGrid(t *testing.T) {
 
 func TestSearchFindsWorkingConfig(t *testing.T) {
 	X, y := synthData(120, 2)
-	res, err := Search(X, y, 4, 3, 7, 0)
+	res, err := Search(X, y, 4, 3, 7, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,18 +66,18 @@ func TestSearchFindsWorkingConfig(t *testing.T) {
 
 func TestSearchRejectsZeroConfigs(t *testing.T) {
 	X, y := synthData(30, 3)
-	if _, err := Search(X, y, 0, 3, 1, 0); err == nil {
+	if _, err := Search(X, y, 0, 3, 1, 0, 0); err == nil {
 		t.Fatal("zero configs accepted")
 	}
 }
 
 func TestSearchDeterministic(t *testing.T) {
 	X, y := synthData(80, 4)
-	a, err := Search(X, y, 3, 3, 99, 0)
+	a, err := Search(X, y, 3, 3, 99, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Search(X, y, 3, 3, 99, 0)
+	b, err := Search(X, y, 3, 3, 99, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package rf
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"carol/internal/xrand"
 )
@@ -11,6 +12,9 @@ import (
 // returns the mean negative MSE across folds (higher is better, 0 is
 // perfect). This is the scoring function FXRZ's randomized grid search and
 // CAROL's Bayesian optimizer both maximize.
+//
+// Folds run concurrently, bounded by Config.Workers; fold scores are summed
+// in fold order, so the result is bit-identical for any Workers value.
 func CrossValidate(X [][]float64, y []float64, cfg Config, k int, seed uint64) (float64, error) {
 	if k < 2 {
 		return 0, errors.New("rf: k-fold needs k >= 2")
@@ -23,12 +27,19 @@ func CrossValidate(X [][]float64, y []float64, cfg Config, k int, seed uint64) (
 	for i, p := range perm {
 		foldOf[p] = i % k
 	}
-	var totalScore float64
-	for fold := 0; fold < k; fold++ {
-		var trX [][]float64
-		var trY []float64
-		var teX [][]float64
-		var teY []float64
+	scores := make([]float64, k)
+	errs := make([]error, k)
+	runFold := func(fold int) {
+		nTest := 0
+		for i := range X {
+			if foldOf[i] == fold {
+				nTest++
+			}
+		}
+		trX := make([][]float64, 0, len(X)-nTest)
+		trY := make([]float64, 0, len(X)-nTest)
+		teX := make([][]float64, 0, nTest)
+		teY := make([]float64, 0, nTest)
 		for i := range X {
 			if foldOf[i] == fold {
 				teX = append(teX, X[i])
@@ -40,21 +51,49 @@ func CrossValidate(X [][]float64, y []float64, cfg Config, k int, seed uint64) (
 		}
 		f, err := Train(trX, trY, cfg)
 		if err != nil {
-			return 0, err
+			errs[fold] = err
+			return
+		}
+		preds, err := f.PredictBatch(teX)
+		if err != nil {
+			errs[fold] = err
+			return
 		}
 		var mse float64
-		for i := range teX {
-			p, err := f.Predict(teX[i])
-			if err != nil {
-				return 0, err
-			}
+		for i, p := range preds {
 			d := p - teY[i]
 			mse += d * d
 		}
-		if len(teX) > 0 {
-			mse /= float64(len(teX))
+		if len(preds) > 0 {
+			mse /= float64(len(preds))
 		}
-		totalScore += -mse
+		scores[fold] = -mse
+	}
+	workers := resolveWorkers(cfg.Workers)
+	if workers > k {
+		workers = k
+	}
+	if workers == 1 {
+		for fold := 0; fold < k; fold++ {
+			runFold(fold)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for fold := 0; fold < k; fold++ {
+			wg.Add(1)
+			go func(fold int) {
+				defer wg.Done()
+				runFold(fold)
+			}(fold)
+		}
+		wg.Wait()
+	}
+	var totalScore float64
+	for fold := 0; fold < k; fold++ {
+		if errs[fold] != nil {
+			return 0, errs[fold]
+		}
+		totalScore += scores[fold]
 	}
 	score := totalScore / float64(k)
 	if math.IsNaN(score) {

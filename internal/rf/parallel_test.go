@@ -1,0 +1,123 @@
+package rf
+
+import "testing"
+
+// trainConfigs spans the hyper-parameter shapes that exercise different
+// engine paths: bootstrap on/off, feature subsetting, leaf/split minima.
+func trainConfigs() []Config {
+	base := DefaultConfig()
+	base.NEstimators = 15
+	boot := base
+	boot.Bootstrap = false
+	sqrt := base
+	sqrt.MaxFeatures = MaxFeaturesSqrt
+	leafy := base
+	leafy.MinSamplesSplit = 5
+	leafy.MinSamplesLeaf = 2
+	shallow := base
+	shallow.MaxDepth = 4
+	return []Config{base, boot, sqrt, leafy, shallow}
+}
+
+// TestTrainWorkersBitIdentical asserts the determinism contract of the
+// parallel engine: for a fixed seed, the forest a worker pool grows is
+// bit-identical to the serial one, for several seeds and configurations.
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	X, y := synthData(400, 17, 0.2)
+	probes, _ := synthData(64, 18, 0)
+	for _, seed := range []uint64{1, 7, 42} {
+		for ci, cfg := range trainConfigs() {
+			cfg.Seed = seed
+			serial := cfg
+			serial.Workers = 1
+			fs, err := Train(X, y, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 2, 5} {
+				par := cfg
+				par.Workers = workers
+				fp, err := Train(X, y, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range probes {
+					ps, _ := fs.Predict(p)
+					pp, _ := fp.Predict(p)
+					if ps != pp {
+						t.Fatalf("seed %d config %d: Workers=%d predicted %v, serial %v",
+							seed, ci, workers, pp, ps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossValidateWorkersBitIdentical asserts that concurrent folds score
+// bit-identically to serial folds (and, run under -race, that the parallel
+// fold path is race-free).
+func TestCrossValidateWorkersBitIdentical(t *testing.T) {
+	X, y := synthData(300, 23, 0.1)
+	for _, cfg := range trainConfigs() {
+		serial := cfg
+		serial.Workers = 1
+		want, err := CrossValidate(X, y, serial, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 3} {
+			par := cfg
+			par.Workers = workers
+			got, err := CrossValidate(X, y, par, 4, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("Workers=%d CV score %v, serial %v", workers, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	X, y := synthData(250, 31, 0.1)
+	cfg := DefaultConfig()
+	cfg.NEstimators = 12
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := synthData(100, 32, 0)
+	batch, err := f.PredictBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(probes) {
+		t.Fatalf("batch returned %d predictions for %d rows", len(batch), len(probes))
+	}
+	for i, p := range probes {
+		one, err := f.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != one {
+			t.Fatalf("row %d: batch %v, single %v", i, batch[i], one)
+		}
+	}
+}
+
+func TestPredictBatchDimCheck(t *testing.T) {
+	X, y := synthData(50, 33, 0)
+	f, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PredictBatch([][]float64{{1, 2, 3}, {1}}); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	out, err := f.PredictBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}

@@ -3,13 +3,21 @@
 // predicted error bound: an ensemble of CART regression trees grown on
 // bootstrap resamples with per-split feature subsetting, governed by the six
 // hyper-parameters the FXRZ paper searches over (§5.3 of the CAROL paper).
+//
+// Training is deterministic and parallel: every tree's bootstrap sample and
+// builder seed are derived serially from the master RNG, then the trees are
+// grown on a worker pool, so a forest is bit-identical for any Config.Workers
+// value (see DESIGN.md, "Parallel training engine").
 package rf
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"carol/internal/xrand"
 )
@@ -40,6 +48,11 @@ type Config struct {
 	MinSamplesLeaf  int         // {1, 2, 4}
 	Bootstrap       bool        // resample with replacement
 	Seed            uint64      // RNG seed for bootstrap + feature choice
+	// Workers bounds the goroutines used for tree growth, cross-validation
+	// folds and batch prediction: 0 uses every core (GOMAXPROCS), 1 forces
+	// the serial path. It does not affect the trained model — output is
+	// bit-identical for every value.
+	Workers int
 }
 
 // DefaultConfig is a reasonable untuned starting point.
@@ -69,6 +82,14 @@ func (c Config) validate() error {
 		return fmt.Errorf("rf: MinSamplesLeaf %d < 1", c.MinSamplesLeaf)
 	}
 	return nil
+}
+
+// resolveWorkers maps the Workers knob to a concrete goroutine count.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // node is one decision-tree node, stored flat.
@@ -114,6 +135,11 @@ func (f *Forest) Config() Config { return f.cfg }
 func (f *Forest) NumTrees() int { return len(f.trees) }
 
 // Train grows a forest on the rows of X (features) and targets y.
+//
+// All randomness — each tree's bootstrap sample and its builder seed — is
+// drawn from the master RNG serially, in tree order, before any tree is
+// grown; the worker pool only parallelizes the (deterministic) growth, so
+// the result does not depend on Config.Workers.
 func Train(X [][]float64, y []float64, cfg Config) (*Forest, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -129,7 +155,9 @@ func Train(X [][]float64, y []float64, cfg Config) (*Forest, error) {
 	}
 	f := &Forest{trees: make([]tree, cfg.NEstimators), dims: dims, cfg: cfg}
 	rng := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
-	for ti := range f.trees {
+	boots := make([][]int, cfg.NEstimators)
+	seeds := make([]uint64, cfg.NEstimators)
+	for ti := range boots {
 		idx := make([]int, len(X))
 		if cfg.Bootstrap {
 			for i := range idx {
@@ -140,13 +168,39 @@ func Train(X [][]float64, y []float64, cfg Config) (*Forest, error) {
 				idx[i] = i
 			}
 		}
-		b := &builder{
-			X: X, y: y, cfg: cfg, dims: dims,
-			rng: xrand.New(rng.Uint64()),
-		}
-		b.grow(idx, 0)
-		f.trees[ti] = tree{nodes: b.nodes}
+		boots[ti] = idx
+		seeds[ti] = rng.Uint64()
 	}
+	growTree := func(ti int) {
+		b := &builder{X: X, y: y, cfg: cfg, dims: dims, rng: xrand.New(seeds[ti])}
+		f.trees[ti] = tree{nodes: b.build(boots[ti])}
+	}
+	workers := resolveWorkers(cfg.Workers)
+	if workers > cfg.NEstimators {
+		workers = cfg.NEstimators
+	}
+	if workers == 1 {
+		for ti := range f.trees {
+			growTree(ti)
+		}
+		return f, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(f.trees) {
+					return
+				}
+				growTree(ti)
+			}
+		}()
+	}
+	wg.Wait()
 	return f, nil
 }
 
@@ -160,6 +214,49 @@ func (f *Forest) Predict(x []float64) (float64, error) {
 		sum += f.trees[i].predict(x)
 	}
 	return sum / float64(len(f.trees)), nil
+}
+
+// PredictBatch predicts every row of X, splitting the batch over up to
+// Config.Workers goroutines. Each row's result is bit-identical to a
+// Predict call on that row.
+func (f *Forest) PredictBatch(X [][]float64) ([]float64, error) {
+	for i, row := range X {
+		if len(row) != f.dims {
+			return nil, fmt.Errorf("rf: predict row %d with %d features, trained on %d", i, len(row), f.dims)
+		}
+	}
+	out := make([]float64, len(X))
+	predictRange := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			var sum float64
+			for ti := range f.trees {
+				sum += f.trees[ti].predict(X[r])
+			}
+			out[r] = sum / float64(len(f.trees))
+		}
+	}
+	// Below this many rows per goroutine the spawn overhead dominates.
+	const minRowsPerWorker = 16
+	workers := resolveWorkers(f.cfg.Workers)
+	if maxW := len(X) / minRowsPerWorker; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		predictRange(0, len(X))
+		return out, nil
+	}
+	chunk := (len(X) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(X); lo += chunk {
+		hi := min(lo+chunk, len(X))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			predictRange(lo, hi)
+		}()
+	}
+	wg.Wait()
+	return out, nil
 }
 
 // FeatureImportance returns the normalized variance-reduction importance of
@@ -185,7 +282,23 @@ func (f *Forest) FeatureImportance() []float64 {
 	return imp
 }
 
-// builder grows a single tree.
+// pairSorter sorts a feature-value slice while keeping the target slice
+// aligned; it lives inside builder so sort.Sort gets a pre-existing pointer
+// and no per-node allocation happens.
+type pairSorter struct {
+	v, y []float64
+}
+
+func (s *pairSorter) Len() int           { return len(s.v) }
+func (s *pairSorter) Less(i, j int) bool { return s.v[i] < s.v[j] }
+func (s *pairSorter) Swap(i, j int) {
+	s.v[i], s.v[j] = s.v[j], s.v[i]
+	s.y[i], s.y[j] = s.y[j], s.y[i]
+}
+
+// builder grows a single tree. All per-node working storage is reused
+// across the whole tree: sample indices are partitioned in place, and the
+// split search sorts into fixed scratch buffers.
 type builder struct {
 	X     [][]float64
 	y     []float64
@@ -193,68 +306,100 @@ type builder struct {
 	dims  int
 	rng   *xrand.Source
 	nodes []node
+
+	idx    []int // sample indices; grow partitions segments of this in place
+	part   []int // stable-partition scratch (right-child indices)
+	feats  []int // feature-permutation scratch, one Fisher-Yates draw per split
+	vals   []float64
+	ys     []float64
+	sorter pairSorter
 }
 
-func (b *builder) leaf(idx []int) int32 {
+// build grows the tree over the bootstrap sample idx (which the builder
+// takes ownership of) and returns the flat node array.
+func (b *builder) build(idx []int) []node {
+	b.idx = idx
+	b.part = make([]int, 0, len(idx))
+	b.feats = make([]int, b.dims)
+	b.vals = make([]float64, len(idx))
+	b.ys = make([]float64, len(idx))
+	b.grow(0, len(idx), 0)
+	return b.nodes
+}
+
+func (b *builder) leaf(lo, hi int) int32 {
 	var sum float64
-	for _, i := range idx {
+	for _, i := range b.idx[lo:hi] {
 		sum += b.y[i]
 	}
-	b.nodes = append(b.nodes, node{feature: -1, value: sum / float64(len(idx))})
+	b.nodes = append(b.nodes, node{feature: -1, value: sum / float64(hi-lo)})
 	return int32(len(b.nodes) - 1)
 }
 
-// grow recursively builds the subtree over idx and returns its node index.
-func (b *builder) grow(idx []int, depth int) int32 {
-	if depth >= b.cfg.MaxDepth || len(idx) < b.cfg.MinSamplesSplit || pureTargets(b.y, idx) {
-		return b.leaf(idx)
+// grow recursively builds the subtree over b.idx[lo:hi] and returns its
+// node index.
+func (b *builder) grow(lo, hi, depth int) int32 {
+	if depth >= b.cfg.MaxDepth || hi-lo < b.cfg.MinSamplesSplit || b.pureTargets(lo, hi) {
+		return b.leaf(lo, hi)
 	}
-	feat, thresh, childScore, ok := b.bestSplit(idx)
+	feat, thresh, childScore, ok := b.bestSplit(lo, hi)
 	if !ok {
-		return b.leaf(idx)
+		return b.leaf(lo, hi)
 	}
-	var left, right []int
-	for _, i := range idx {
-		if b.X[i][feat] <= thresh {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
-		return b.leaf(idx)
+	mid := b.partition(lo, hi, feat, thresh)
+	if mid-lo < b.cfg.MinSamplesLeaf || hi-mid < b.cfg.MinSamplesLeaf {
+		return b.leaf(lo, hi)
 	}
 	// Importance: weighted variance reduction achieved by this split.
-	gain := (targetVariance(b.y, idx) - childScore) * float64(len(idx))
+	gain := (b.targetVariance(lo, hi) - childScore) * float64(hi-lo)
 	if gain < 0 {
 		gain = 0
 	}
 	// Reserve this node's slot before growing children.
 	me := int32(len(b.nodes))
 	b.nodes = append(b.nodes, node{feature: feat, thresh: thresh, gain: gain})
-	l := b.grow(left, depth+1)
-	r := b.grow(right, depth+1)
+	l := b.grow(lo, mid, depth+1)
+	r := b.grow(mid, hi, depth+1)
 	b.nodes[me].left = l
 	b.nodes[me].right = r
 	return me
 }
 
-// targetVariance computes the variance of y over idx.
-func targetVariance(y []float64, idx []int) float64 {
-	var sum, sq float64
-	for _, i := range idx {
-		sum += y[i]
-		sq += y[i] * y[i]
+// partition stably reorders b.idx[lo:hi] so indices with X[i][feat] <=
+// thresh precede the rest, and returns the boundary. Left elements are
+// written behind the read cursor; right elements park in the part scratch.
+func (b *builder) partition(lo, hi, feat int, thresh float64) int {
+	right := b.part[:0]
+	w := lo
+	for _, i := range b.idx[lo:hi] {
+		if b.X[i][feat] <= thresh {
+			b.idx[w] = i
+			w++
+		} else {
+			right = append(right, i)
+		}
 	}
-	n := float64(len(idx))
+	copy(b.idx[w:hi], right)
+	b.part = right[:0]
+	return w
+}
+
+// targetVariance computes the variance of y over b.idx[lo:hi].
+func (b *builder) targetVariance(lo, hi int) float64 {
+	var sum, sq float64
+	for _, i := range b.idx[lo:hi] {
+		sum += b.y[i]
+		sq += b.y[i] * b.y[i]
+	}
+	n := float64(hi - lo)
 	m := sum / n
 	return sq/n - m*m
 }
 
-func pureTargets(y []float64, idx []int) bool {
-	first := y[idx[0]]
-	for _, i := range idx[1:] {
-		if y[i] != first {
+func (b *builder) pureTargets(lo, hi int) bool {
+	first := b.y[b.idx[lo]]
+	for _, i := range b.idx[lo+1 : hi] {
+		if b.y[i] != first {
 			return false
 		}
 	}
@@ -262,68 +407,72 @@ func pureTargets(y []float64, idx []int) bool {
 }
 
 // maxSplitCandidates caps the thresholds evaluated per feature; above this
-// the sorted values are subsampled evenly (keeps training O(n log n)-ish).
+// the sorted values are subsampled evenly.
 const maxSplitCandidates = 32
 
 // bestSplit finds the (feature, threshold) minimizing the weighted child
 // variance over the candidate feature subset, returning that variance too.
-func (b *builder) bestSplit(idx []int) (feat int, thresh, score float64, ok bool) {
+//
+// Instead of rescanning all samples per candidate threshold, each feature
+// is processed with one sorted sweep: the (value, target) pairs are sorted
+// once, and running prefix sums of the targets give every candidate's
+// weighted child variance in O(1), for O(n log n) per feature.
+func (b *builder) bestSplit(lo, hi int) (feat int, thresh, score float64, ok bool) {
 	nFeat := b.dims
 	if b.cfg.MaxFeatures == MaxFeaturesSqrt {
 		nFeat = int(math.Ceil(math.Sqrt(float64(b.dims))))
 	}
-	feats := b.rng.Perm(b.dims)[:nFeat]
+	// The full permutation is always drawn — even when every feature is
+	// considered — to keep RNG consumption identical across configurations.
+	b.rng.PermInto(b.feats)
+	feats := b.feats[:nFeat]
 
+	n := hi - lo
+	vals := b.vals[:n]
+	ys := b.ys[:n]
 	bestScore := math.Inf(1)
-	vals := make([]float64, 0, len(idx))
 	for _, ft := range feats {
-		vals = vals[:0]
-		for _, i := range idx {
-			vals = append(vals, b.X[i][ft])
+		for k, i := range b.idx[lo:hi] {
+			vals[k] = b.X[i][ft]
+			ys[k] = b.y[i]
 		}
-		sort.Float64s(vals)
+		b.sorter.v, b.sorter.y = vals, ys
+		sort.Sort(&b.sorter)
+		var sumT, sqT float64
+		for _, t := range ys {
+			sumT += t
+			sqT += t * t
+		}
 		// Candidate thresholds: midpoints between distinct consecutive
 		// values, evenly subsampled if too many.
 		step := 1
-		if len(vals) > maxSplitCandidates {
-			step = len(vals) / maxSplitCandidates
+		if n > maxSplitCandidates {
+			step = n / maxSplitCandidates
 		}
-		for vi := 0; vi+step < len(vals); vi += step {
+		j := 0
+		var sumL, sqL float64
+		for vi := 0; vi+step < n; vi += step {
 			a, c := vals[vi], vals[vi+step]
 			if a == c {
 				continue
 			}
 			t := (a + c) / 2
-			s := b.splitScore(idx, ft, t)
-			if s < bestScore {
+			// Thresholds increase monotonically, so the left-side prefix
+			// sums advance with a single cursor over the sorted pairs.
+			for j < n && vals[j] <= t {
+				sumL += ys[j]
+				sqL += ys[j] * ys[j]
+				j++
+			}
+			nL, nR := float64(j), float64(n-j)
+			sumR, sqR := sumT-sumL, sqT-sqL
+			varL := sqL/nL - (sumL/nL)*(sumL/nL)
+			varR := sqR/nR - (sumR/nR)*(sumR/nR)
+			if s := (nL*varL + nR*varR) / (nL + nR); s < bestScore {
 				bestScore = s
 				feat, thresh, ok = ft, t, true
 			}
 		}
 	}
 	return feat, thresh, bestScore, ok
-}
-
-// splitScore computes the weighted variance of the two children.
-func (b *builder) splitScore(idx []int, feat int, thresh float64) float64 {
-	var nL, nR float64
-	var sL, sR, qL, qR float64
-	for _, i := range idx {
-		v := b.y[i]
-		if b.X[i][feat] <= thresh {
-			nL++
-			sL += v
-			qL += v * v
-		} else {
-			nR++
-			sR += v
-			qR += v * v
-		}
-	}
-	if nL == 0 || nR == 0 {
-		return math.Inf(1)
-	}
-	varL := qL/nL - (sL/nL)*(sL/nL)
-	varR := qR/nR - (sR/nR)*(sR/nR)
-	return (nL*varL + nR*varR) / (nL + nR)
 }

@@ -315,19 +315,6 @@ func TestQuickPredictionWithinTargetRange(t *testing.T) {
 	}
 }
 
-func BenchmarkTrain(b *testing.B) {
-	X, y := synthData(1000, 1, 0.1)
-	cfg := DefaultConfig()
-	cfg.NEstimators = 20
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Train(X, y, cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkPredict(b *testing.B) {
 	X, y := synthData(1000, 1, 0.1)
 	cfg := DefaultConfig()

@@ -59,14 +59,21 @@ func (s *Source) Norm() float64 {
 // Perm returns a random permutation of [0, n) (Fisher-Yates).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)
+	s.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)), drawing the
+// exact same variate sequence as Perm. It lets hot paths reuse a scratch
+// slice instead of allocating per call.
+func (s *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := s.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Shuffle permutes the first n indices in place using swap.
