@@ -1,6 +1,6 @@
-.PHONY: check build vet test race bench-rf
+.PHONY: check build vet lint test race bench-rf
 
-check: ## build + vet + race-enabled tests (the tier-1 gate)
+check: ## build + vet + race-enabled tests + carollint (the tier-1 gate)
 	./scripts/check.sh
 
 build:
@@ -8,6 +8,11 @@ build:
 
 vet:
 	go vet ./...
+
+# The repo's own static-analysis suite (internal/analysis): determinism,
+# float discipline and bounded concurrency. See DESIGN.md §9.
+lint:
+	go run ./cmd/carollint ./...
 
 test:
 	go test ./...

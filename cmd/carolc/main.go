@@ -126,12 +126,17 @@ func doDecompress(comp, in, out string) error {
 	if err != nil {
 		return err
 	}
-	defer outF.Close()
 	if err := f.WriteRaw(outF); err != nil {
+		_ = outF.Close()
+		return err
+	}
+	// Close before reporting success: on a written file, Close is what
+	// surfaces the final flush failure.
+	if err := outF.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("restored %dx%dx%d field (%d bytes)\n", f.Nx, f.Ny, f.Nz, f.SizeBytes())
-	return outF.Close()
+	return nil
 }
 
 // doVerify decompresses `in` and reports reconstruction quality against the

@@ -67,8 +67,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer outF.Close()
 	if err := f.WriteRaw(outF); err != nil {
+		_ = outF.Close()
 		return err
 	}
 	if err := outF.Close(); err != nil {

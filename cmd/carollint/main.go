@@ -1,0 +1,134 @@
+// Command carollint runs the repository's static-analysis suite (see
+// internal/analysis): determinism, float-discipline and bounded-concurrency
+// checks that keep the fixed-ratio pipeline reproducible.
+//
+//	carollint ./...                 # whole module (the CI gate)
+//	carollint ./internal/rf         # one package
+//	carollint -checks floateq ./... # a subset of checks
+//	carollint -tests ./...          # include in-package _test.go files
+//
+// Findings print as file:line:col: message [check]; the exit status is 1
+// when anything is reported, 2 on load/usage errors, 0 when clean. A
+// finding is silenced in place with `//carol:allow <check> <reason>` on the
+// offending line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"carol/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	checkList := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	flag.Parse()
+
+	checks, err := selectChecks(*checkList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carollint:", err)
+		return 2
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carollint:", err)
+		return 2
+	}
+	modRoot, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carollint:", err)
+		return 2
+	}
+	modPath, err := analysis.ModulePath(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carollint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(modRoot, modPath, *tests)
+	known := analysis.Names(analysis.All())
+
+	status := 0
+	for _, pattern := range patterns {
+		dirs, err := analysis.PackageDirs(pattern, *tests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carollint:", err)
+			return 2
+		}
+		for _, dir := range dirs {
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "carollint:", err)
+				status = 2
+				continue
+			}
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintln(os.Stderr, "carollint: type error:", terr)
+				status = 2
+			}
+			diags, err := analysis.RunChecks(pkg, checks, known)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "carollint:", err)
+				status = 2
+				continue
+			}
+			for _, d := range diags {
+				fmt.Println(relativize(cwd, d))
+				if status == 0 {
+					status = 1
+				}
+			}
+		}
+	}
+	return status
+}
+
+// selectChecks resolves the -checks flag against the registered suite.
+func selectChecks(list string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if list == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have: %s)", name, checkNames(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func checkNames(all []*analysis.Analyzer) string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// relativize shortens the diagnostic's file path relative to the current
+// directory for readable, clickable output.
+func relativize(cwd string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

@@ -104,7 +104,7 @@ func doPack(fields fieldSpecs, out string) error {
 			return err
 		}
 		f, err := carol.ReadRawField(name, nx, ny, nz, inF)
-		inF.Close()
+		_ = inF.Close() // read-only; no buffered writes to lose
 		if err != nil {
 			return err
 		}
@@ -118,10 +118,11 @@ func doPack(fields fieldSpecs, out string) error {
 	if err != nil {
 		return err
 	}
-	defer outF.Close()
 	if _, err := w.WriteTo(outF); err != nil {
+		_ = outF.Close()
 		return err
 	}
+	// Close, not defer: the archive only exists once the flush succeeds.
 	return outF.Close()
 }
 
@@ -168,8 +169,8 @@ func doExtract(in, name, out string) error {
 	if err != nil {
 		return err
 	}
-	defer outF.Close()
 	if err := f.WriteRaw(outF); err != nil {
+		_ = outF.Close()
 		return err
 	}
 	if err := outF.Close(); err != nil {

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop reports discarded error results: expression-statement calls whose
+// (possibly last) result is an error, and deferred Close on files opened
+// for writing. The second case is the classic silent data-loss bug this
+// repository's CLIs must not have: a deferred Close's return value is
+// thrown away, and on a written file Close is what surfaces the final
+// flush failure — the archive looks written and is truncated.
+//
+// Explicitly assigning to _ is an accepted, visible discard. Noise from
+// APIs whose errors are structurally uninteresting is excluded: fmt
+// printing to stdout/stderr, to an in-memory buffer, or to an
+// interface-typed writer (a report printer's io.Writer parameter — the
+// caller picked the destination, and line-by-line Fprintf checking is
+// noise); methods on bytes.Buffer / strings.Builder and hash.Hash
+// implementations (all documented to never fail). Writes to a concrete
+// file the function itself opened stay flagged.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags call statements that discard an error result and deferred " +
+		"Close on writable files; handle the error or assign it to _",
+	Run: runErrDrop,
+}
+
+func runErrDrop(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					p.checkDroppedError(call)
+				}
+			case *ast.FuncDecl:
+				p.checkWritableDefers(n.Body)
+			case *ast.FuncLit:
+				p.checkWritableDefers(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedError reports call when it returns an error that the
+// statement discards.
+func (p *Pass) checkDroppedError(call *ast.CallExpr) {
+	t := p.Info.TypeOf(call)
+	if t == nil || !resultHasError(t) || p.errExcluded(call) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or assign it to _", types.ExprString(call.Fun))
+}
+
+// resultHasError reports whether t (a call's result type) is or contains an
+// error.
+func resultHasError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errExcluded filters structurally-uninteresting error sources.
+func (p *Pass) errExcluded(call *ast.CallExpr) bool {
+	// fmt.Print*/Println to stdout, and fmt.Fprint* into stdout/stderr or
+	// an in-memory buffer.
+	if isPkgFunc(p.Info, call.Fun, "fmt", "") {
+		name := objectOf(p.Info, call.Fun).Name()
+		if strings.HasPrefix(name, "Print") {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return p.isStdStream(call.Args[0]) || p.isMemoryWriter(call.Args[0]) ||
+				p.isInterfaceTyped(call.Args[0])
+		}
+		return false
+	}
+	// Methods on bytes.Buffer / strings.Builder and on hash.Hash values
+	// never return a non-nil error (their docs guarantee it).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if recv := p.Info.TypeOf(sel.X); recv != nil {
+			if isMemoryWriterType(recv) || isHashType(recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isInterfaceTyped reports whether e's static type is an interface (e.g. an
+// io.Writer parameter).
+func (p *Pass) isInterfaceTyped(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	return t != nil && types.IsInterface(t)
+}
+
+// isHashType reports whether t is one of package hash's interfaces.
+func isHashType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "hash"
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func (p *Pass) isStdStream(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// isMemoryWriter reports whether e's type is an in-memory buffer.
+func (p *Pass) isMemoryWriter(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	return t != nil && isMemoryWriterType(t)
+}
+
+func isMemoryWriterType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	case "text/tabwriter.Writer":
+		// tabwriter buffers until Flush; per-write errors resurface there,
+		// and Flush's error is what callers must (and do) check.
+		return true
+	}
+	return false
+}
+
+// checkWritableDefers flags `defer f.Close()` where f was opened for
+// writing in the same function body.
+func (p *Pass) checkWritableDefers(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	writable := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) >= 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && p.opensForWriting(call) {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if obj := p.objectOfIdent(id); obj != nil {
+						writable[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		df, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(df.Call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && writable[p.Info.Uses[id]] {
+			p.Reportf(df.Pos(), "deferred Close on writable file %s discards the flush error; Close explicitly and return its error", id.Name)
+		}
+		return true
+	})
+}
+
+// opensForWriting matches os.Create and os.OpenFile whose flags mention a
+// writing mode.
+func (p *Pass) opensForWriting(call *ast.CallExpr) bool {
+	if isPkgFunc(p.Info, call.Fun, "os", "Create") {
+		return true
+	}
+	if !isPkgFunc(p.Info, call.Fun, "os", "OpenFile") || len(call.Args) < 2 {
+		return false
+	}
+	writish := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+				writish = true
+			}
+		}
+		return !writish
+	})
+	return writish
+}
+
+// objectOfIdent resolves an identifier on either side of := / =.
+func (p *Pass) objectOfIdent(id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == and != between floating-point (or complex) operands.
+// In compressor, random-forest and calibration code an exact float compare
+// is either a bug (values that went through arithmetic rarely compare
+// equal) or a deliberate bit-exactness claim — and the whole point of the
+// determinism work is that bit-exact intent must be written down. Compare
+// against an epsilon, or annotate the intent with //carol:allow floateq.
+//
+// Exemptions: comparisons where both operands are compile-time constants,
+// and the x != x / x == x NaN idiom.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between floating-point operands; use an epsilon or " +
+		"annotate bit-exact intent with //carol:allow floateq",
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Info.TypeOf(be.X), p.Info.TypeOf(be.Y)
+			if xt == nil || yt == nil || (!isFloat(xt) && !isFloat(yt)) {
+				return true
+			}
+			if p.Info.Types[be.X].Value != nil && p.Info.Types[be.Y].Value != nil {
+				return true // constant-folded at compile time
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x — the NaN test
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison: compare against an epsilon or annotate bit-exact intent", be.Op)
+			return true
+		})
+	}
+	return nil
+}

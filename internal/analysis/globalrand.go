@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GlobalRand reports imports of math/rand (v1 or v2) anywhere outside
+// internal/xrand, and RNG constructors seeded from the clock. Every
+// stochastic component in this repository must draw from an explicit,
+// caller-seeded xrand.Source: a forest trained twice from the same seed
+// must be bit-identical, and global or time-seeded RNG state breaks that
+// (and breaks it silently — results stay plausible, just irreproducible).
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "flags math/rand imports outside internal/xrand and time-seeded RNG " +
+		"construction; all randomness must come from caller-seeded xrand Sources",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) error {
+	if p.Pkg != nil && strings.HasSuffix(p.Pkg.Path(), "internal/xrand") {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: draw from a caller-seeded xrand.Source instead (forest training must be seed-deterministic)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.isRNGConstructor(call.Fun) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if p.containsClockCall(arg) {
+					p.Reportf(call.Pos(), "RNG seeded from the clock: seeds must be explicit, reproducible values")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRNGConstructor reports whether fun resolves to a function declared in an
+// RNG package (math/rand, math/rand/v2, or internal/xrand) — the places a
+// seed argument could flow into.
+func (p *Pass) isRNGConstructor(fun ast.Expr) bool {
+	obj := objectOf(p.Info, fun)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2" || strings.HasSuffix(path, "internal/xrand")
+}
+
+// containsClockCall reports whether the expression tree contains a call to
+// time.Now (any derived value — UnixNano(), Unix(), etc. — still descends
+// from the clock).
+func (p *Pass) containsClockCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(p.Info, call.Fun, "time", "Now") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder reports `range` loops over maps whose bodies produce
+// order-dependent output: appending to a slice, writing/encoding to a
+// stream, or accumulating floating-point values. Map iteration order is
+// deliberately randomized by the runtime, so any of these makes archives,
+// training sets or bitstreams differ run to run — the exact
+// irreproducibility the fixed-ratio pipeline must exclude.
+//
+// The sanctioned fix is collecting the keys, sorting, and iterating the
+// sorted slice; `append(keys, k)` of the bare key variable is therefore
+// exempt. Integer accumulation is exact and commutative, so it is exempt
+// too — float accumulation is not, because rounding makes + order-sensitive.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map bodies that append, encode, or accumulate " +
+		"floats; sort the keys first so output is byte-identical across runs",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			p.checkMapRangeBody(rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody reports order-dependent operations inside one
+// range-over-map body. Nested range statements are walked too (their
+// bodies are still executed in the outer map's random order); the runner
+// dedupes the double reports when the inner range is itself a map range.
+func (p *Pass) checkMapRangeBody(rs *ast.RangeStmt) {
+	keyObj := p.rangeKeyObject(rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(p.Info, n) {
+				if p.isKeyCollect(n, keyObj) {
+					return true // append(keys, k): the sort-the-keys fix pattern
+				}
+				p.Reportf(n.Pos(), "append inside range over map: iteration order is randomized; collect and sort the keys first")
+				return true
+			}
+			if name, ok := encoderCallName(n); ok {
+				p.Reportf(n.Pos(), "%s inside range over map: serialized output depends on randomized iteration order; sort the keys first", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN ||
+				n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if t := p.Info.TypeOf(lhs); t != nil && isFloat(t) {
+						p.Reportf(n.Pos(), "float accumulation inside range over map: rounding makes the sum order-dependent; sort the keys first")
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeKeyObject returns the object bound to the range key, or nil.
+func (p *Pass) rangeKeyObject(rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// isKeyCollect reports whether call is `append(slice, k)` with k exactly
+// the range key variable.
+func (p *Pass) isKeyCollect(call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && p.Info.Uses[id] == keyObj
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// encoderCallName classifies calls that serialize into a stream or buffer:
+// Write* / Encode* methods and fmt.Fprint* functions.
+func encoderCallName(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Encode") ||
+		strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Put") {
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,7 @@
+// Package badallow is a carollint fixture: a directive naming an unknown
+// check must itself be diagnosed, and must not suppress the real finding.
+package badallow
+
+func typo(a, b float64) bool {
+	return a == b //carol:allow floateqq typo'd check name // want `floating-point == comparison` `carol:allow names unknown check "floateqq"`
+}

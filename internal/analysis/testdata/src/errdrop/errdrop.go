@@ -1,0 +1,69 @@
+// Package errdrop is a carollint golden fixture.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+func dropped(path string) {
+	os.Remove(path) // want `os.Remove returns an error that is discarded`
+}
+
+func blankAssign(path string) {
+	_ = os.Remove(path) // explicit discard: fine
+}
+
+func writeDeferred(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on writable file f`
+	_, err = f.Write(data)
+	return err
+}
+
+func appendDeferred(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on writable file f`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func readDeferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred Close on a read-only file: fine
+	var buf [16]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+func explicitClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close() // the sanctioned shape: Close error is returned
+}
+
+func memoryWriters(w io.Writer) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "x=%d", 1)  // in-memory buffer: fine
+	b.WriteString("!")          // documented to never fail: fine
+	fmt.Fprintln(w, b.String()) // interface-typed writer: fine
+	fmt.Println("done")         // stdout printing: fine
+	return b.String()
+}

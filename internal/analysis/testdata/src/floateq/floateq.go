@@ -1,0 +1,34 @@
+// Package floateq is a carollint golden fixture.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `floating-point == comparison`
+}
+
+func zeroGuard(x float64) bool {
+	return x == 0 // want `floating-point == comparison`
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // the NaN self-compare idiom: fine
+}
+
+func ints(a, b int) bool {
+	return a == b // integer comparison: fine
+}
+
+func ordered(a, b float64) bool {
+	return a < b // ordered comparisons are fine; only ==/!= are bit-exact claims
+}
+
+const c1, c2 = 1.5, 2.5
+
+var constFolded = c1 == c2 // both operands constant: fine

@@ -1,0 +1,31 @@
+// Package globalrand is a carollint golden fixture: each `// want` comment
+// names a regexp the diagnostic on that line must match.
+package globalrand
+
+import (
+	"math/rand" // want `import of math/rand: draw from a caller-seeded xrand.Source`
+	"time"
+
+	"carol/internal/xrand"
+)
+
+func seeded() float64 {
+	r := rand.New(rand.NewSource(1)) // uses are not re-flagged; the import was
+	return r.Float64()
+}
+
+func clockSeeded() *xrand.Source {
+	return xrand.New(uint64(time.Now().UnixNano())) // want `RNG seeded from the clock`
+}
+
+func clockSeededDirect() *xrand.Noise {
+	return xrand.NewNoise(uint64(time.Now().Unix())) // want `RNG seeded from the clock`
+}
+
+func explicit(seed uint64) *xrand.Source {
+	return xrand.New(seed) // explicit, reproducible seed: fine
+}
+
+func notAnRNG() time.Time {
+	return time.Unix(time.Now().Unix(), 0) // clock use outside RNG construction: fine
+}

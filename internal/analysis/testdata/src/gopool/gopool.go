@@ -1,0 +1,59 @@
+// Package gopool is a carollint golden fixture.
+package gopool
+
+import "sync"
+
+func unbounded(items []int, f func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) { // want `goroutine launched per loop iteration with no bound`
+			defer wg.Done()
+			f(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func workerPool(workers int, f func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) { // loop is bounded by the worker count: fine
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func semaphore(items []int, f func(int)) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) { // counting-semaphore bound: fine
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func inputSized(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want `goroutine launched per loop iteration with no bound`
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func notALoop(f func()) {
+	go f() // a single goroutine outside any loop: fine
+}

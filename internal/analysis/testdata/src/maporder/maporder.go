@@ -1,0 +1,52 @@
+// Package maporder is a carollint golden fixture.
+package maporder
+
+import "bytes"
+
+func values(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want `append inside range over map`
+	}
+	return out
+}
+
+func collectKeys(m map[string]float64) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // the sort-the-keys fix pattern: fine
+	}
+	return ks
+}
+
+func encode(m map[string]int) []byte {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want `WriteString inside range over map`
+	}
+	return buf.Bytes()
+}
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `float accumulation inside range over map`
+	}
+	return s
+}
+
+func countInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation is exact and commutative: fine
+	}
+	return n
+}
+
+func sliceAppend(xs []float64) []float64 {
+	var out []float64
+	for _, v := range xs {
+		out = append(out, v) // range over slice: order is defined, fine
+	}
+	return out
+}

@@ -69,7 +69,7 @@ func (s Space) Normalize(v []float64) []float64 {
 			u[i] = (float64(best) + 0.5) / float64(len(p.Choices))
 			continue
 		}
-		if p.Max == p.Min {
+		if p.Max == p.Min { //carol:allow floateq degenerate range configured as two identical literals
 			u[i] = 0
 			continue
 		}
@@ -229,7 +229,7 @@ func (o *Optimizer) fitGP() (*gpModel, error) {
 		variance += (y - mean) * (y - mean)
 	}
 	std := math.Sqrt(variance / float64(n))
-	if std == 0 {
+	if std == 0 { //carol:allow floateq exact-zero variance guard before dividing
 		std = 1
 	}
 	for i := range ys {
@@ -377,10 +377,10 @@ func (o *Optimizer) suggestEI() []float64 {
 	} else {
 		chunk := (len(cands) + workers - 1) / workers
 		var wg sync.WaitGroup
-		for lo := 0; lo < len(cands); lo += chunk {
-			hi := lo + chunk
-			if hi > len(cands) {
-				hi = len(cands)
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, len(cands))
+			if lo >= hi {
+				break
 			}
 			wg.Add(1)
 			go func(lo, hi int) {

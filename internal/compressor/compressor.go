@@ -97,8 +97,8 @@ func NRMSE(f, g *field.Field) float64 {
 	}
 	mse /= float64(len(f.Data))
 	r := f.ValueRange()
-	if r == 0 {
-		if mse == 0 {
+	if r == 0 { //carol:allow floateq constant field has exactly zero range
+		if mse == 0 { //carol:allow floateq zero error on a constant field is exact
 			return 0
 		}
 		return math.Inf(1)
@@ -123,7 +123,7 @@ func Pearson(f, g *field.Field) float64 {
 	vf := sff/n - (sf/n)*(sf/n)
 	vg := sgg/n - (sg/n)*(sg/n)
 	if vf <= 0 || vg <= 0 {
-		if vf == vg {
+		if vf == vg { //carol:allow floateq both-degenerate-variance case check
 			return 1 // both constant (and equal up to the bound)
 		}
 		return 0
@@ -139,11 +139,11 @@ func PSNR(f, g *field.Field) float64 {
 		mse += d * d
 	}
 	mse /= float64(len(f.Data))
-	if mse == 0 {
+	if mse == 0 { //carol:allow floateq lossless reconstruction yields exactly zero MSE
 		return math.Inf(1)
 	}
 	r := f.ValueRange()
-	if r == 0 {
+	if r == 0 { //carol:allow floateq constant field has exactly zero range
 		return math.Inf(1)
 	}
 	return 20*math.Log10(r) - 10*math.Log10(mse)

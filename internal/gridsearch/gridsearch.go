@@ -116,10 +116,10 @@ func ConfigFromValues(v []float64, seed uint64) (rf.Config, error) {
 		MaxDepth:        int(v[2]),
 		MinSamplesSplit: int(v[3]),
 		MinSamplesLeaf:  int(v[4]),
-		Bootstrap:       v[5] != 0,
+		Bootstrap:       v[5] != 0, //carol:allow floateq decodes a 0/1 flag stored in a float vector
 		Seed:            seed,
 	}
-	if v[1] != 0 {
+	if v[1] != 0 { //carol:allow floateq decodes a 0/1 flag stored in a float vector
 		cfg.MaxFeatures = rf.MaxFeaturesSqrt
 	}
 	return cfg, nil

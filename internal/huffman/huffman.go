@@ -57,9 +57,19 @@ func codeLengths(freqs map[uint32]uint64) map[uint32]uint {
 		}
 		return lengths
 	}
+	// Seed the heap in sorted symbol order. Less breaks frequency ties by
+	// symbol, so pop order is already a total order — but building from the
+	// map's randomized iteration order would leave that property carrying
+	// the entire determinism burden; sorted construction makes the tree
+	// (and the emitted table) byte-identical by construction.
+	syms := make([]uint32, 0, len(freqs))
+	for s := range freqs {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
 	h := make(nodeHeap, 0, len(freqs))
-	for s, f := range freqs {
-		h = append(h, &node{freq: f, symbol: s})
+	for _, s := range syms {
+		h = append(h, &node{freq: freqs[s], symbol: s})
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {

@@ -60,7 +60,7 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 	}
 	for d := range m.scale {
 		m.scale[d] = math.Sqrt(m.scale[d] / float64(len(X)))
-		if m.scale[d] == 0 {
+		if m.scale[d] == 0 { //carol:allow floateq exact-zero variance guard before dividing
 			m.scale[d] = 1
 		}
 	}

@@ -105,7 +105,7 @@ func CheckPointwise(f, g *field.Field, rel float64) error {
 	for i := range f.Data {
 		a, b := float64(f.Data[i]), float64(g.Data[i])
 		if math.Abs(a) < zeroFloor {
-			if b != 0 {
+			if b != 0 { //carol:allow floateq zero samples must be restored bit-exactly
 				return fmt.Errorf("pwrel: zero sample %d restored as %g", i, b)
 			}
 			continue

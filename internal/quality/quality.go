@@ -143,7 +143,7 @@ func autocorrX(resid []float64, nx, lag int) float64 {
 			}
 		}
 	}
-	if den == 0 {
+	if den == 0 { //carol:allow floateq exact-zero denominator guard before dividing
 		return 0
 	}
 	return num / den

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"carol/internal/xrand"
 )
@@ -78,13 +79,23 @@ func CrossValidate(X [][]float64, y []float64, cfg Config, k int, seed uint64) (
 			runFold(fold)
 		}
 	} else {
+		// Exactly `workers` goroutines pulling folds off a shared counter —
+		// fold results land positionally, so the schedule cannot affect the
+		// score.
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		for fold := 0; fold < k; fold++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(fold int) {
+			go func() {
 				defer wg.Done()
-				runFold(fold)
-			}(fold)
+				for {
+					fold := int(next.Add(1)) - 1
+					if fold >= k {
+						return
+					}
+					runFold(fold)
+				}
+			}()
 		}
 		wg.Wait()
 	}

@@ -247,8 +247,11 @@ func (f *Forest) PredictBatch(X [][]float64) ([]float64, error) {
 	}
 	chunk := (len(X) + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < len(X); lo += chunk {
-		hi := min(lo+chunk, len(X))
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(X))
+		if lo >= hi {
+			break
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -399,7 +402,7 @@ func (b *builder) targetVariance(lo, hi int) float64 {
 func (b *builder) pureTargets(lo, hi int) bool {
 	first := b.y[b.idx[lo]]
 	for _, i := range b.idx[lo+1 : hi] {
-		if b.y[i] != first {
+		if b.y[i] != first { //carol:allow floateq node purity means bit-identical targets
 			return false
 		}
 	}
@@ -453,7 +456,7 @@ func (b *builder) bestSplit(lo, hi int) (feat int, thresh, score float64, ok boo
 		var sumL, sqL float64
 		for vi := 0; vi+step < n; vi += step {
 			a, c := vals[vi], vals[vi+step]
-			if a == c {
+			if a == c { //carol:allow floateq equal sorted values admit no threshold between them
 				continue
 			}
 			t := (a + c) / 2

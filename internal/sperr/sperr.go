@@ -543,7 +543,7 @@ func EstimateSampledBits(f *field.Field, eb float64) uint64 {
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if maxAbs == 0 { //carol:allow floateq all-zero coefficient plane is an exact case
 		return 8
 	}
 	t0 := math.Pow(2, math.Floor(math.Log2(maxAbs)))

@@ -50,7 +50,7 @@ func (a *Accumulator) Max() float64 { return a.max }
 // against its ground truth (equation (2)): 100 * |est - truth| / truth.
 // It returns 0 when truth is 0.
 func PctError(est, truth float64) float64 {
-	if truth == 0 {
+	if truth == 0 { //carol:allow floateq exact-zero ground truth guard before dividing
 		return 0
 	}
 	return 100 * math.Abs(est-truth) / math.Abs(truth)
@@ -134,7 +134,7 @@ func InvInterp1D(xs, ys []float64, target float64) float64 {
 			hi = mid
 		}
 	}
-	if ys[hi] == ys[lo] {
+	if ys[hi] == ys[lo] { //carol:allow floateq flat interpolation segment guard before dividing
 		return xs[lo]
 	}
 	t := (target - ys[lo]) / (ys[hi] - ys[lo])

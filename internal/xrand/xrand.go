@@ -49,7 +49,7 @@ func (s *Source) Range(lo, hi float64) float64 {
 // Norm returns a standard normal variate via Box-Muller.
 func (s *Source) Norm() float64 {
 	u1 := s.Float64()
-	for u1 == 0 {
+	for u1 == 0 { //carol:allow floateq Box-Muller rejects exactly zero before log
 		u1 = s.Float64()
 	}
 	u2 := s.Float64()
@@ -151,7 +151,7 @@ func (n *Noise) FBm(x, y, z float64, octaves int, gain float64) float64 {
 		amp *= gain
 		freq *= 2
 	}
-	if norm == 0 {
+	if norm == 0 { //carol:allow floateq zero-octave FBm normalizer guard before dividing
 		return 0
 	}
 	return sum / norm
