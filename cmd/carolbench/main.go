@@ -12,42 +12,80 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"carol/internal/experiments"
 )
 
+// errWriter wraps an io.Writer and remembers the first write error, so
+// the exit path can detect a truncated report (e.g. stdout piped into a
+// consumer that died) and fail loudly instead of exiting 0 with partial
+// tables.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("experiment", "", "experiment id (default: all); see -list")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
+	ew := &errWriter{w: os.Stdout}
+	var out io.Writer = ew
 	if *list {
 		for _, r := range experiments.Registry() {
-			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+			fmt.Fprintf(out, "%-8s %s\n", r.ID, r.Title)
 		}
-		return
+		return exitCode(ew)
 	}
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	start := time.Now()
 	if *exp == "" {
-		err = experiments.RunAll(os.Stdout, scale)
+		err = experiments.RunAll(out, scale)
 	} else {
 		var r experiments.Runner
 		r, err = experiments.Find(*exp)
 		if err == nil {
-			err = r.Run(os.Stdout, scale)
+			err = r.Run(out, scale)
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carolbench:", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	// A failed write latches ew.err; exitCode reports it below.
+	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return exitCode(ew)
+}
+
+// exitCode maps an accumulated write error to the process exit status.
+func exitCode(out *errWriter) int {
+	if out.err != nil {
+		fmt.Fprintln(os.Stderr, "carolbench: writing output:", out.err)
+		return 1
+	}
+	return 0
 }

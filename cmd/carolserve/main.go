@@ -1,9 +1,9 @@
-// Command carolserve exposes the compressors and estimators as a small
-// HTTP service — the "large software pipelines" integration of the paper's
+// Command carolserve exposes the compressors and estimators as an HTTP
+// service — the "large software pipelines" integration of the paper's
 // use case 3, where other components need compression with predictable
 // output sizes over a wire protocol.
 //
-//	carolserve -addr :8080
+//	carolserve -addr :8080 -max-inflight 64
 //
 // Endpoints (raw little-endian float32 bodies):
 //
@@ -12,53 +12,131 @@
 //	POST /v1/decompress?codec=sz3                          -> raw float32
 //	POST /v1/estimate?codec=sperr&rel=1e-3&dims=...        -> JSON ratio estimate
 //	GET  /v1/codecs                                        -> JSON codec list
+//	GET  /metrics                                          -> text metrics exposition
+//	GET  /debug/vars                                       -> JSON metrics snapshot
+//	GET  /healthz                                          -> liveness probe
+//
+// The server is hardened for production traffic: read/write/idle
+// timeouts, a semaphore-bounded in-flight request limit (503 +
+// Retry-After when saturated), panic recovery, per-endpoint request
+// metrics, and context-aware graceful shutdown on SIGINT/SIGTERM
+// (in-flight requests drain, bounded by -shutdown-timeout).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"carol"
 	"carol/internal/codecs"
 	"carol/internal/compressor"
 	"carol/internal/field"
 	"carol/internal/fraz"
+	"carol/internal/secre"
 )
 
 func main() {
+	cfg := defaultConfig()
 	addr := flag.String("addr", ":8080", "listen address")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", cfg.maxInflight,
+		"maximum concurrently served /v1/ requests; excess get 503 + Retry-After")
+	flag.BoolVar(&cfg.trackEstimatorError, "track-estimator-error", cfg.trackEstimatorError,
+		"run the SECRE surrogate alongside rel= compresses and export estimate-vs-actual error gauges")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", cfg.readTimeout, "full-request read timeout")
+	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", cfg.readHeaderTimeout, "request-header read timeout")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", cfg.writeTimeout, "response write timeout")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", cfg.idleTimeout, "keep-alive idle timeout")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", cfg.shutdownTimeout,
+		"grace period for draining in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
-	log.Printf("carolserve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer()))
+	os.Exit(run(cfg, *addr))
+}
+
+// run owns the server lifecycle so every exit path is explicit and
+// checked: listener failures, serve failures, and shutdown failures each
+// report and return non-zero; a signal-triggered graceful drain returns 0.
+func run(cfg config, addr string) int {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("carolserve: listen: %v", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           newServerWith(cfg),
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	log.Printf("carolserve listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve only returns before shutdown on listener/accept failure.
+		log.Printf("carolserve: serve: %v", err)
+		return 1
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("carolserve: signal received, draining in-flight requests (up to %v)", cfg.shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("carolserve: graceful shutdown: %v; forcing close", err)
+			if cerr := srv.Close(); cerr != nil {
+				log.Printf("carolserve: close: %v", cerr)
+			}
+			return 1
+		}
+		if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("carolserve: serve returned %v after shutdown", err)
+			return 1
+		}
+		log.Printf("carolserve: shutdown complete")
+		return 0
+	}
 }
 
 // maxBody caps request bodies (512 MiB of float32 samples).
 const maxBody = 512 << 20
 
-// newServer builds the HTTP handler (separated from main for testing).
-func newServer() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/codecs", handleCodecs)
-	mux.HandleFunc("/v1/compress", handleCompress)
-	mux.HandleFunc("/v1/decompress", handleDecompress)
-	mux.HandleFunc("/v1/estimate", handleEstimate)
-	return mux
-}
+// errTooLarge marks a request rejected for size, mapped to 413 rather
+// than 400 so clients can tell "shrink it" from "fix it".
+var errTooLarge = errors.New("request body too large")
 
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
-func handleCodecs(w http.ResponseWriter, r *http.Request) {
+// fieldError maps a body/dims parse failure to its status code.
+func fieldError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errTooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
+}
+
+func (s *server) handleCodecs(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(carol.ExtendedCompressors()); err != nil {
-		log.Printf("codecs encode: %v", err)
+		log.Printf("carolserve: codecs encode: %v", err)
 	}
 }
 
@@ -89,16 +167,21 @@ func readFieldBody(r *http.Request) (*field.Field, error) {
 	// total-size check.
 	const maxDim = 1 << 20
 	if nx > maxDim || ny > maxDim || nz > maxDim || int64(nx)*int64(ny)*int64(nz)*4 > maxBody {
-		return nil, fmt.Errorf("field too large")
+		return nil, fmt.Errorf("%w: %dx%dx%d float32 field exceeds %d bytes", errTooLarge, nx, ny, nz, maxBody)
+	}
+	if r.ContentLength > maxBody {
+		return nil, fmt.Errorf("%w: content length %d exceeds %d bytes", errTooLarge, r.ContentLength, maxBody)
 	}
 	return field.ReadRaw("http", nx, ny, nz, io.LimitReader(r.Body, maxBody))
 }
 
-func handleCompress(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	tr := s.reg.StartTrace("http_compress")
+	defer tr.End()
 	q := r.URL.Query()
 	codecName := q.Get("codec")
 	codec, err := codecs.ByName(codecName)
@@ -106,9 +189,11 @@ func handleCompress(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	span := tr.StartSpan("parse")
 	f, err := readFieldBody(r)
+	span.End()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		fieldError(w, err)
 		return
 	}
 	var stream []byte
@@ -119,7 +204,9 @@ func handleCompress(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad ratio")
 			return
 		}
+		span = tr.StartSpan("search")
 		res, err := fraz.Search(codec, f, target, fraz.Options{})
+		span.End()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -133,55 +220,86 @@ func handleCompress(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad rel")
 			return
 		}
-		stream, err = codec.Compress(f, compressor.AbsBound(f, rel))
+		eb := compressor.AbsBound(f, rel)
+		span = tr.StartSpan("codec")
+		stream, err = codec.Compress(f, eb)
+		span.End()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		w.Header().Set("X-Carol-Achieved-Ratio",
-			strconv.FormatFloat(compressor.Ratio(f, stream), 'g', 6, 64))
+		actual := compressor.Ratio(f, stream)
+		w.Header().Set("X-Carol-Achieved-Ratio", strconv.FormatFloat(actual, 'g', 6, 64))
+		// Online estimator-error tracking (Underwood et al.'s black-box
+		// ratio-prediction metric): run the cheap sampled surrogate next to
+		// the full run we just paid for, and export the error.
+		if s.cfg.trackEstimatorError {
+			if sur, serr := codecs.SurrogateByName(codecName); serr == nil {
+				span = tr.StartSpan("estimate")
+				est, eerr := sur.EstimateRatio(f, eb)
+				span.End()
+				if eerr == nil {
+					secre.RecordOutcome(codecName, est, actual)
+					w.Header().Set("X-Carol-Estimated-Ratio", strconv.FormatFloat(est, 'g', 6, 64))
+				}
+			}
+		}
 	default:
 		httpError(w, http.StatusBadRequest, "need rel= or ratio=")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Carol-Trace", tr.String())
 	if _, err := w.Write(stream); err != nil {
-		log.Printf("compress write: %v", err)
+		log.Printf("carolserve: compress write: %v", err)
 	}
 }
 
-func handleDecompress(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	tr := s.reg.StartTrace("http_decompress")
+	defer tr.End()
 	codec, err := codecs.ByName(r.URL.Query().Get("codec"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if r.ContentLength > maxBody {
+		fieldError(w, fmt.Errorf("%w: content length %d exceeds %d bytes", errTooLarge, r.ContentLength, maxBody))
+		return
+	}
+	span := tr.StartSpan("read")
 	stream, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	span.End()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	span = tr.StartSpan("codec")
 	f, err := codec.Decompress(stream)
+	span.End()
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Carol-Dims", fmt.Sprintf("%dx%dx%d", f.Nx, f.Ny, f.Nz))
+	w.Header().Set("X-Carol-Trace", tr.String())
 	if err := f.WriteRaw(w); err != nil {
-		log.Printf("decompress write: %v", err)
+		log.Printf("carolserve: decompress write: %v", err)
 	}
 }
 
-func handleEstimate(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	tr := s.reg.StartTrace("http_estimate")
+	defer tr.End()
 	q := r.URL.Query()
 	sur, err := codecs.SurrogateByName(q.Get("codec"))
 	if err != nil {
@@ -193,18 +311,23 @@ func handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad rel")
 		return
 	}
+	span := tr.StartSpan("parse")
 	f, err := readFieldBody(r)
+	span.End()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		fieldError(w, err)
 		return
 	}
+	span = tr.StartSpan("estimate")
 	ratio, err := sur.EstimateRatio(f, compressor.AbsBound(f, rel))
+	span.End()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Carol-Trace", tr.String())
 	if err := json.NewEncoder(w).Encode(map[string]float64{"estimated_ratio": ratio}); err != nil {
-		log.Printf("estimate encode: %v", err)
+		log.Printf("carolserve: estimate encode: %v", err)
 	}
 }

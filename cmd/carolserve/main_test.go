@@ -142,7 +142,11 @@ func TestErrorResponses(t *testing.T) {
 		{"/v1/compress?codec=szx&dims=24x24x8", http.StatusBadRequest},        // no rel/ratio
 		{"/v1/compress?codec=szx&rel=-1&dims=24x24x8", http.StatusBadRequest}, // bad rel
 		{"/v1/compress?codec=szx&rel=1e-3&dims=0x2", http.StatusBadRequest},   // bad dims
-		{"/v1/estimate?codec=szx&rel=1e-3&dims=9999999x9999999x9999999", http.StatusBadRequest},
+		{"/v1/compress?codec=szx&rel=1e-3&dims=24xx8", http.StatusBadRequest}, // malformed dims
+		{"/v1/compress?codec=szx&rel=1e-3&dims=1x2x3x4", http.StatusBadRequest},
+		// Oversized fields are a size problem, not a syntax problem: 413.
+		{"/v1/estimate?codec=szx&rel=1e-3&dims=9999999x9999999x9999999", http.StatusRequestEntityTooLarge},
+		{"/v1/compress?codec=szx&rel=1e-3&dims=999999x999999x1", http.StatusRequestEntityTooLarge},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(srv.URL+c.url, "application/octet-stream", bytes.NewReader(body.Bytes()))

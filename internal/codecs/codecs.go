@@ -30,19 +30,22 @@ var ExtendedNames = []string{"szx", "zfp", "sz3", "sperr", "szp"}
 // "high compression ratio" group (SZ3, SPERR).
 func HighThroughput(name string) bool { return name == "szx" || name == "zfp" }
 
-// ByName returns the full compressor for name.
+// ByName returns the full compressor for name, wrapped with the
+// compressor.Instrument observability layer so every Compress/Decompress
+// issued through the registry shows up in obs.Default's per-codec latency
+// and throughput metrics (DESIGN.md §10).
 func ByName(name string) (compressor.Codec, error) {
 	switch name {
 	case "szx":
-		return szx.New(), nil
+		return compressor.Instrument(szx.New()), nil
 	case "zfp":
-		return zfp.New(), nil
+		return compressor.Instrument(zfp.New()), nil
 	case "sz3":
-		return sz3.New(), nil
+		return compressor.Instrument(sz3.New()), nil
 	case "sperr":
-		return sperr.New(), nil
+		return compressor.Instrument(sperr.New()), nil
 	case "szp":
-		return szp.New(), nil
+		return compressor.Instrument(szp.New()), nil
 	default:
 		return nil, fmt.Errorf("codecs: unknown compressor %q (have %v)", name, ExtendedNames)
 	}

@@ -20,8 +20,25 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"carol/internal/field"
+	"carol/internal/obs"
+)
+
+// ExtractParallel metrics (obs.Default). The plan/scan split mirrors the
+// GPU original's kernel-launch vs kernel-execution phases: plan is the
+// serial block-sampling setup, scan is the workers' accumulation pass.
+// Worker busy time is observed once per worker per call, so the spread of
+// the features_extract_scan_seconds histogram exposes load imbalance
+// across the block distribution.
+var (
+	extractSeconds     = obs.Default.Histogram("features_extract_seconds", obs.LatencyBuckets())
+	extractPlanSeconds = obs.Default.Histogram("features_extract_plan_seconds", obs.LatencyBuckets())
+	extractScanSeconds = obs.Default.Histogram("features_extract_scan_seconds", obs.LatencyBuckets())
+	extractCalls       = obs.Default.Counter("features_extract_calls_total")
+	extractBlocks      = obs.Default.Counter("features_extract_blocks_total")
+	extractPoints      = obs.Default.Counter("features_extract_points_total")
 )
 
 // Count is the number of features in a Vector.
@@ -275,6 +292,9 @@ func planAxis(lo, hi int, opts ParallelOptions, sampled bool) axisPlan {
 // block-wise sampling, surface exclusion, and per-worker partial sums merged
 // at the end.
 func ExtractParallel(f *field.Field, opts ParallelOptions) Vector {
+	start := time.Now()
+	defer extractSeconds.ObserveSince(start)
+	extractCalls.Inc()
 	opts = opts.withDefaults()
 	x0, x1, y0, y1, z0, z1, ok := interiorRanges(f)
 	if !ok {
@@ -300,6 +320,9 @@ func ExtractParallel(f *field.Field, opts ParallelOptions) Vector {
 		}
 	}
 
+	extractPlanSeconds.ObserveSince(start)
+	extractBlocks.Add(int64(len(tasks)))
+
 	workers := opts.Workers
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -313,6 +336,10 @@ func ExtractParallel(f *field.Field, opts ParallelOptions) Vector {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker busy time: one observation per worker per call, so
+			// the histogram spread shows scan-phase load imbalance.
+			scanStart := time.Now()
+			defer extractScanSeconds.ObserveSince(scanStart)
 			// Accumulate into a stack-local struct to avoid false sharing
 			// between workers; publish once at the end.
 			var local accum
@@ -335,5 +362,6 @@ func ExtractParallel(f *field.Field, opts ParallelOptions) Vector {
 	for _, p := range partials {
 		total.merge(p)
 	}
+	extractPoints.Add(int64(total.n))
 	return finish(f, total)
 }

@@ -11,9 +11,26 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/obs"
+)
+
+// Search metrics (obs.Default). FRaZ's own evaluation shows the probe
+// count dominates end-to-end latency, so the iteration histogram is the
+// number to watch when tuning Options or swapping in learned prediction.
+var (
+	searchSeconds    = obs.Default.Histogram("fraz_search_seconds", obs.LatencyBuckets())
+	searchRuns       = obs.Default.Histogram("fraz_search_runs", obs.LinearBuckets(1, 1, 16))
+	searchRunsTotal  = obs.Default.Counter("fraz_search_compressor_runs_total")
+	searchConverged  = obs.Default.Counter("fraz_search_converged_total")
+	searchDiverged   = obs.Default.Counter("fraz_search_unconverged_total")
+	searchErrors     = obs.Default.Counter("fraz_search_errors_total")
+	probeSeconds     = obs.Default.Histogram("fraz_probe_seconds", obs.LatencyBuckets())
+	boundFinalRelEB  = obs.Default.Gauge("fraz_last_rel_eb")
+	ratioMissPercent = obs.Default.Gauge("fraz_last_ratio_miss_percent")
 )
 
 // Options tunes the search. Zero values take defaults.
@@ -59,8 +76,30 @@ type Result struct {
 
 // Search finds an error bound whose compression ratio approximates
 // targetRatio, via bisection in log error-bound space (compression ratio is
-// monotone non-decreasing in the bound).
+// monotone non-decreasing in the bound). Every search records its probe
+// count, convergence outcome and wall time into obs.Default.
 func Search(codec compressor.Codec, f *field.Field, targetRatio float64, opts Options) (Result, error) {
+	start := time.Now()
+	res, err := search(codec, f, targetRatio, opts)
+	searchSeconds.ObserveSince(start)
+	if err != nil {
+		searchErrors.Inc()
+		return res, err
+	}
+	searchRuns.Observe(float64(res.Runs))
+	searchRunsTotal.Add(int64(res.Runs))
+	if res.Converged {
+		searchConverged.Inc()
+	} else {
+		searchDiverged.Inc()
+	}
+	boundFinalRelEB.Set(res.RelEB)
+	ratioMissPercent.Set(100 * (res.Achieved/targetRatio - 1))
+	return res, nil
+}
+
+// search is the uninstrumented bisection loop.
+func search(codec compressor.Codec, f *field.Field, targetRatio float64, opts Options) (Result, error) {
 	if !(targetRatio > 0) {
 		return Result{}, fmt.Errorf("fraz: invalid target ratio %g", targetRatio)
 	}
@@ -70,7 +109,9 @@ func Search(codec compressor.Codec, f *field.Field, targetRatio float64, opts Op
 	opts = opts.withDefaults()
 
 	probe := func(rel float64) (float64, []byte, error) {
+		probeStart := time.Now()
 		stream, err := codec.Compress(f, compressor.AbsBound(f, rel))
+		probeSeconds.ObserveSince(probeStart)
 		if err != nil {
 			return 0, nil, fmt.Errorf("fraz: probe at rel=%g: %w", rel, err)
 		}

@@ -131,3 +131,32 @@ func TestMaxItersRespected(t *testing.T) {
 		t.Fatal("no best-effort stream returned")
 	}
 }
+
+// TestSearchRecordsMetrics checks that a successful search advances the
+// obs.Default iteration histogram and convergence counters.
+func TestSearchRecordsMetrics(t *testing.T) {
+	f := testField(t)
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsBefore := searchRuns.Count()
+	totalBefore := searchRunsTotal.Value()
+	convBefore := searchConverged.Value() + searchDiverged.Value()
+	res, err := Search(codec, f, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := searchRuns.Count(); got != runsBefore+1 {
+		t.Fatalf("searchRuns count %d, want %d", got, runsBefore+1)
+	}
+	if got := searchRunsTotal.Value(); got != totalBefore+int64(res.Runs) {
+		t.Fatalf("compressor runs counter %d, want %d", got, totalBefore+int64(res.Runs))
+	}
+	if got := searchConverged.Value() + searchDiverged.Value(); got != convBefore+1 {
+		t.Fatalf("convergence counters %d, want %d", got, convBefore+1)
+	}
+	if probeSeconds.Count() < int64(res.Runs) {
+		t.Fatalf("probe latency count %d < runs %d", probeSeconds.Count(), res.Runs)
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteText writes the registry in a Prometheus-style text exposition:
+// one `# TYPE` line per metric family followed by its sample lines,
+// families in sorted name order. Histograms expand into cumulative
+// `_bucket{le="..."}` lines plus `_sum` and `_count`. Output is
+// deterministic: identical registry state yields byte-identical text.
+//
+// The document is assembled in memory (bytes.Buffer writes cannot fail)
+// and flushed with a single checked Write, so a broken scrape connection
+// surfaces exactly one error.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	counterNames := sortedKeys(r.counters)
+	gaugeNames := sortedKeys(r.gauges)
+	histNames := sortedKeys(r.histograms)
+	counters := make([]*Counter, len(counterNames))
+	for i, n := range counterNames {
+		counters[i] = r.counters[n]
+	}
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, n := range gaugeNames {
+		gauges[i] = r.gauges[n]
+	}
+	hists := make([]*Histogram, len(histNames))
+	for i, n := range histNames {
+		hists[i] = r.histograms[n]
+	}
+	r.mu.RUnlock()
+
+	var buf bytes.Buffer
+	lastFamily := ""
+	typeLine := func(name, kind string) {
+		family, _ := splitName(name)
+		if family != lastFamily {
+			buf.WriteString("# TYPE ")
+			buf.WriteString(family)
+			buf.WriteByte(' ')
+			buf.WriteString(kind)
+			buf.WriteByte('\n')
+			lastFamily = family
+		}
+	}
+
+	for i, name := range counterNames {
+		typeLine(name, "counter")
+		buf.WriteString(name)
+		buf.WriteByte(' ')
+		buf.WriteString(strconv.FormatInt(counters[i].Value(), 10))
+		buf.WriteByte('\n')
+	}
+	for i, name := range gaugeNames {
+		typeLine(name, "gauge")
+		buf.WriteString(name)
+		buf.WriteByte(' ')
+		buf.WriteString(formatFloat(gauges[i].Value()))
+		buf.WriteByte('\n')
+	}
+	for i, name := range histNames {
+		typeLine(name, "histogram")
+		writeHistogramText(&buf, name, hists[i])
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writeHistogramText emits the cumulative bucket, sum and count lines for
+// one histogram, merging any labels already present in name with the
+// per-bucket le label.
+func writeHistogramText(buf *bytes.Buffer, name string, h *Histogram) {
+	base, labels := splitName(name)
+	bounds, counts := h.Snapshot()
+	var cum int64
+	for i, ub := range bounds {
+		cum += counts[i]
+		buf.WriteString(base)
+		buf.WriteString("_bucket{")
+		if labels != "" {
+			buf.WriteString(labels)
+			buf.WriteByte(',')
+		}
+		buf.WriteString(`le="`)
+		buf.WriteString(formatLe(ub))
+		buf.WriteString(`"} `)
+		buf.WriteString(strconv.FormatInt(cum, 10))
+		buf.WriteByte('\n')
+	}
+	suffix := func(s string) string {
+		if labels == "" {
+			return base + s
+		}
+		return base + s + "{" + labels + "}"
+	}
+	buf.WriteString(suffix("_sum"))
+	buf.WriteByte(' ')
+	buf.WriteString(formatFloat(h.Sum()))
+	buf.WriteByte('\n')
+	buf.WriteString(suffix("_count"))
+	buf.WriteByte(' ')
+	buf.WriteString(strconv.FormatInt(cum, 10))
+	buf.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLe(ub float64) string {
+	if math.IsInf(ub, 1) {
+		return "+Inf"
+	}
+	return formatFloat(ub)
+}
+
+// histogramJSON is the JSON shape of one histogram in WriteJSON output.
+type histogramJSON struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+type bucketJSON struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"` // per-bucket (non-cumulative) count
+}
+
+// WriteJSON writes the registry as a /debug/vars-style JSON document with
+// top-level "counters", "gauges" and "histograms" objects. encoding/json
+// sorts map keys, so the output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]histogramJSON, len(r.histograms))
+	for name, h := range r.histograms {
+		bounds, counts := h.Snapshot()
+		buckets := make([]bucketJSON, len(bounds))
+		for i, ub := range bounds {
+			buckets[i] = bucketJSON{Le: formatLe(ub), Count: counts[i]}
+		}
+		var n int64
+		for _, c := range counts {
+			n += c
+		}
+		hists[name] = histogramJSON{Count: n, Sum: h.Sum(), Buckets: buckets}
+	}
+	r.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	})
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("b_total").Add(3)
+	r.Counter(Label("a_total", "k", "v1")).Add(1)
+	r.Counter(Label("a_total", "k", "v2")).Add(2)
+	r.Gauge("g_ratio").Set(1.5)
+	h := r.Histogram(Label("h_seconds", "stage", "scan"), []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	return r
+}
+
+func TestWriteTextDeterministicAndSorted(t *testing.T) {
+	r := populated()
+	var a, b strings.Builder
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two expositions of identical state differ")
+	}
+	want := `# TYPE a_total counter
+a_total{k="v1"} 1
+a_total{k="v2"} 2
+# TYPE b_total counter
+b_total 3
+# TYPE g_ratio gauge
+g_ratio 1.5
+# TYPE h_seconds histogram
+h_seconds_bucket{stage="scan",le="0.001"} 1
+h_seconds_bucket{stage="scan",le="0.01"} 2
+h_seconds_bucket{stage="scan",le="+Inf"} 3
+h_seconds_sum{stage="scan"} 5.0055
+h_seconds_count{stage="scan"} 3
+`
+	if a.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := populated()
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64         `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]histogramJSON `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Counters["b_total"] != 3 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	h, ok := doc.Histograms[`h_seconds{stage="scan"}`]
+	if !ok || h.Count != 3 || len(h.Buckets) != 3 {
+		t.Fatalf("histograms = %v", doc.Histograms)
+	}
+	if h.Buckets[2].Le != "+Inf" || h.Buckets[2].Count != 1 {
+		t.Fatalf("overflow bucket = %+v", h.Buckets[2])
+	}
+	// Deterministic output: encoding/json sorts map keys.
+	var sb2 strings.Builder
+	if err := r.WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("two JSON expositions of identical state differ")
+	}
+}
+
+func TestEmptyRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Fatalf("empty exposition = %q", sb.String())
+	}
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"counters": {}`) {
+		t.Fatalf("empty JSON = %q", sb.String())
+	}
+}

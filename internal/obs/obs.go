@@ -1,0 +1,350 @@
+// Package obs is the repository's observability substrate: a pure-stdlib
+// registry of counters, gauges and fixed-bucket latency histograms, plus a
+// lightweight per-request trace/span API (trace.go) for multi-stage timing.
+//
+// Design constraints (DESIGN.md §10):
+//
+//   - Hot-path operations (Counter.Add, Gauge.Set, Histogram.Observe) are
+//     lock-free atomics and allocate nothing. Instrumented packages hold
+//     metric handles in package-level variables so the registry map is
+//     only consulted at init time, never per observation.
+//   - Exposition is deterministic: metric families are emitted in sorted
+//     name order and floats are formatted with strconv's shortest
+//     round-trip form, so two snapshots of the same state are
+//     byte-identical (the same discipline carollint's maporder check
+//     enforces everywhere else in the repo).
+//   - Readers never block writers. Snapshots are atomic per value, not
+//     across values: a histogram scraped mid-Observe may transiently show
+//     sum and bucket counts from adjacent observations. For monitoring
+//     that skew is harmless and the price of an uncontended hot path.
+//
+// The process-global Default registry is what the instrumented packages
+// (features, fraz, rf, secre, compressor) and carolserve's /metrics
+// endpoint share. Tests that need isolation construct their own registry
+// with NewRegistry.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-global registry used by the instrumented packages
+// and exposed by carolserve's /metrics and /debug/vars endpoints.
+var Default = NewRegistry()
+
+// Registry holds named metrics. Lookup is guarded by a mutex; the returned
+// handles are lock-free. Get-or-create methods are idempotent: asking for
+// an existing name returns the existing metric (first registration wins,
+// including histogram bucket bounds), and asking for a name registered as
+// a different kind panics — that is a programming error, not a runtime
+// condition.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// checkName panics on names the text exposition cannot represent.
+func checkName(name string) {
+	if name == "" || strings.ContainsAny(name, " \n\t") {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+// checkKind panics when name is already registered under another kind.
+// Callers hold r.mu.
+func (r *Registry) checkKind(name, want string) {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && want != "histogram" {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	checkName(name)
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkKind(name, "counter")
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	checkName(name)
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkKind(name, "gauge")
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if needed. Bounds must be strictly
+// increasing; an implicit +Inf bucket is always appended. If the name is
+// already registered the existing histogram (and its original bounds) is
+// returned.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	checkName(name)
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkKind(name, "histogram")
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Label formats a metric name with label pairs in canonical form:
+// name{k1="v1",k2="v2"}. Pairs are emitted in the order given (callers
+// pass them in a fixed order, keeping names deterministic); values are
+// escaped for quotes, backslashes and newlines. It panics on an odd
+// number of key/value arguments.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Label(%q): odd key/value count %d", name, len(kv)))
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, `"\`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// splitName separates a Label-formatted name into its base and the label
+// body (without braces). Names without labels return labels == "".
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// Counter is a monotonically non-decreasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: Counter.Add with negative delta; use a Gauge")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Observe is lock-free
+// and allocation-free; the bucket scan is a short linear pass over the
+// bounds slice (bounded by the bucket count, typically ≤ 24).
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds (exclusive of +Inf)
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at index %d", i))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe records v into its bucket and the running sum. NaN observations
+// are dropped — they would poison the sum and fit no bucket.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations (sum of bucket counts).
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot returns the bucket upper bounds (with a trailing +Inf) and the
+// per-bucket counts at one instant.
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64) {
+	bounds = make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(h.bounds)] = math.Inf(1)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 || width <= 0 {
+		panic("obs: LinearBuckets needs n >= 1 and width > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n upper bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs n >= 1, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the shared bucket layout for *_seconds histograms:
+// 1µs to ~34s in ×4 steps (13 bounds + implicit +Inf), wide enough to
+// straddle everything from a single histogram update to a paper-scale
+// compression run.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 4, 13) }
+
+// sortedKeys returns the keys of a metric map in sorted order.
+// (Collect-then-sort is the maporder-sanctioned pattern; exposition output
+// must be byte-identical across runs.)
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -5,9 +5,13 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"carol/internal/obs"
 	"carol/internal/xrand"
 )
+
+var cvSeconds = obs.Default.Histogram("rf_crossvalidate_seconds", obs.LatencyBuckets())
 
 // CrossValidate scores a configuration with k-fold cross-validation and
 // returns the mean negative MSE across folds (higher is better, 0 is
@@ -17,6 +21,8 @@ import (
 // Folds run concurrently, bounded by Config.Workers; fold scores are summed
 // in fold order, so the result is bit-identical for any Workers value.
 func CrossValidate(X [][]float64, y []float64, cfg Config, k int, seed uint64) (float64, error) {
+	start := time.Now()
+	defer cvSeconds.ObserveSince(start)
 	if k < 2 {
 		return 0, errors.New("rf: k-fold needs k >= 2")
 	}

@@ -18,8 +18,22 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"carol/internal/obs"
 	"carol/internal/xrand"
+)
+
+// Training/prediction metrics (obs.Default). Single-row Predict is left
+// uninstrumented on purpose: it is the gridsearch/bayesopt inner loop and
+// a per-call clock read there would be measurable; PredictBatch is the
+// serving-path entry point and carries the histogram.
+var (
+	trainSeconds        = obs.Default.Histogram("rf_train_seconds", obs.LatencyBuckets())
+	trainTotal          = obs.Default.Counter("rf_train_total")
+	trainTreesTotal     = obs.Default.Counter("rf_train_trees_total")
+	predictBatchSeconds = obs.Default.Histogram("rf_predict_batch_seconds", obs.LatencyBuckets())
+	predictBatchRows    = obs.Default.Counter("rf_predict_batch_rows_total")
 )
 
 // MaxFeatures selects how many candidate features each split considers.
@@ -141,9 +155,13 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 // grown; the worker pool only parallelizes the (deterministic) growth, so
 // the result does not depend on Config.Workers.
 func Train(X [][]float64, y []float64, cfg Config) (*Forest, error) {
+	start := time.Now()
+	defer trainSeconds.ObserveSince(start)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	trainTotal.Inc()
+	trainTreesTotal.Add(int64(cfg.NEstimators))
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, errors.New("rf: empty or mismatched training data")
 	}
@@ -220,6 +238,9 @@ func (f *Forest) Predict(x []float64) (float64, error) {
 // Config.Workers goroutines. Each row's result is bit-identical to a
 // Predict call on that row.
 func (f *Forest) PredictBatch(X [][]float64) ([]float64, error) {
+	start := time.Now()
+	defer predictBatchSeconds.ObserveSince(start)
+	predictBatchRows.Add(int64(len(X)))
 	for i, row := range X {
 		if len(row) != f.dims {
 			return nil, fmt.Errorf("rf: predict row %d with %d features, trained on %d", i, len(row), f.dims)

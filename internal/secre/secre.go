@@ -22,9 +22,11 @@ package secre
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/obs"
 	"carol/internal/sperr"
 	"carol/internal/sz3"
 	"carol/internal/szp"
@@ -81,6 +83,10 @@ func (o Options) withDefaults() Options {
 type Estimator struct {
 	name string
 	opts Options
+	// Metric handles, resolved once at construction (DESIGN.md §10).
+	seconds   *obs.Histogram
+	estimates *obs.Counter
+	lastRatio *obs.Gauge
 }
 
 var _ compressor.Estimator = (*Estimator)(nil)
@@ -90,7 +96,13 @@ var _ compressor.Estimator = (*Estimator)(nil)
 func New(name string, opts Options) (*Estimator, error) {
 	switch name {
 	case "szx", "zfp", "sz3", "sperr", "szp":
-		return &Estimator{name: name, opts: opts.withDefaults()}, nil
+		return &Estimator{
+			name:      name,
+			opts:      opts.withDefaults(),
+			seconds:   obs.Default.Histogram(obs.Label("secre_estimate_seconds", "codec", name), obs.LatencyBuckets()),
+			estimates: obs.Default.Counter(obs.Label("secre_estimates_total", "codec", name)),
+			lastRatio: obs.Default.Gauge(obs.Label("secre_last_estimated_ratio", "codec", name)),
+		}, nil
 	default:
 		return nil, fmt.Errorf("secre: no surrogate for compressor %q", name)
 	}
@@ -101,9 +113,21 @@ func (e *Estimator) Name() string { return e.name }
 
 // EstimateRatio implements compressor.Estimator.
 func (e *Estimator) EstimateRatio(f *field.Field, eb float64) (float64, error) {
+	start := time.Now()
+	defer e.seconds.ObserveSince(start)
 	if err := compressor.ValidateArgs(f, eb); err != nil {
 		return 0, err
 	}
+	e.estimates.Inc()
+	ratio, err := e.estimateRatio(f, eb)
+	if err == nil {
+		e.lastRatio.Set(ratio)
+	}
+	return ratio, err
+}
+
+// estimateRatio dispatches to the per-compressor surrogate.
+func (e *Estimator) estimateRatio(f *field.Field, eb float64) (float64, error) {
 	switch e.name {
 	case "szx":
 		return e.estimateSZx(f, eb)
@@ -254,6 +278,32 @@ func (e *Estimator) estimateSPERR(f *field.Field, eb float64) (float64, error) {
 	bits := sperr.EstimateSampledBits(s, eb)
 	estBits := float64(bits) / float64(s.Len()) * float64(f.Len())
 	return ratioFromBits(f, estBits), nil
+}
+
+// RecordOutcome feeds the online estimator-error metrics: whenever a
+// caller has both a surrogate estimate and the ratio a full compressor
+// run actually achieved (carolserve's /v1/compress does, and so does any
+// calibration pass), it reports the pair here. The gauges expose the
+// signed relative error (estimated/actual - 1) the black-box
+// ratio-prediction literature tracks — positive means the surrogate
+// overestimates, the bias CAROL's calibration corrects.
+//
+//	secre_estimate_rel_error{codec}   signed relative error of the last pair
+//	secre_estimate_abs_rel_error_percent{codec}  |error| histogram, in %
+//	secre_outcomes_total{codec}       pairs observed
+//
+// Non-positive actual ratios are ignored (nothing meaningful to compare).
+func RecordOutcome(name string, estimated, actual float64) {
+	if !(actual > 0) || math.IsNaN(estimated) || math.IsInf(estimated, 0) {
+		return
+	}
+	relErr := estimated/actual - 1
+	obs.Default.Gauge(obs.Label("secre_estimate_rel_error", "codec", name)).Set(relErr)
+	obs.Default.Histogram(
+		obs.Label("secre_estimate_abs_rel_error_percent", "codec", name),
+		obs.ExpBuckets(0.5, 2, 10), // 0.5% .. 256%
+	).Observe(math.Abs(relErr) * 100)
+	obs.Default.Counter(obs.Label("secre_outcomes_total", "codec", name)).Inc()
 }
 
 // ratioFromBits converts an estimated payload size in bits into a

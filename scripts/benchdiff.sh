@@ -1,0 +1,137 @@
+#!/bin/sh
+# benchdiff.sh — compare fresh `make bench-rf` output against the committed
+# BENCH_RF.json baseline and fail on a time-per-op regression.
+#
+# Usage:
+#   scripts/benchdiff.sh bench-fresh.txt     # compare a `go test -bench` log
+#   scripts/benchdiff.sh -selftest           # prove the gate works both ways
+#
+# Environment:
+#   BASELINE             baseline JSON (default BENCH_RF.json)
+#   BENCHDIFF_THRESHOLD  max allowed fresh/baseline ns-per-op ratio
+#                        (default 1.25 = fail on > 25% slowdown)
+#
+# Benchmark names are normalised on both sides before matching:
+#   - the trailing -N GOMAXPROCS suffix go test appends is stripped
+#   - workers=all(N) collapses to workers=all (N varies with the host)
+# Every benchmark present in the baseline "after" section must appear in the
+# fresh output — a silently skipped benchmark is a failure, not a pass. Only
+# ns/op is gated: allocation counts are asserted exactly by unit tests, and
+# CI time variance makes byte-level gates flaky.
+#
+# Pure POSIX sh + awk: runs on the CI image and on developer laptops with no
+# extra tooling (deliberately no jq).
+set -eu
+
+BASELINE=${BASELINE:-BENCH_RF.json}
+THRESHOLD=${BENCHDIFF_THRESHOLD:-1.25}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+usage() {
+    echo "usage: $0 [-selftest] bench-output.txt" >&2
+    exit 2
+}
+
+# baseline_ns: print "name ns_per_op" pairs from the baseline's "after"
+# section, names normalised.
+baseline_ns() {
+    awk '
+        /"after":/   { in_after = 1; next }
+        /"summary":/ { in_after = 0 }
+        in_after && /"Benchmark/ {
+            if (match($0, /"Benchmark[^"]*"/) == 0) next
+            name = substr($0, RSTART + 1, RLENGTH - 2)
+            if (match($0, /"ns_per_op": *[0-9]+/) == 0) next
+            ns = substr($0, RSTART, RLENGTH)
+            sub(/.*: */, "", ns)
+            gsub(/all\([0-9]+\)/, "all", name)
+            print name, ns
+        }
+    ' "$BASELINE"
+}
+
+# fresh_ns: print "name ns_per_op" pairs from `go test -bench` output, names
+# normalised the same way.
+fresh_ns() {
+    awk '
+        /^Benchmark/ && / ns\/op/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            gsub(/all\([0-9]+\)/, "all", name)
+            for (i = 3; i <= NF; i++)
+                if ($i == "ns/op") print name, $(i - 1)
+        }
+    ' "$1"
+}
+
+# run_diff bench-log: one report line per baseline benchmark; exit 1 on any
+# regression past THRESHOLD or any baseline benchmark missing from the run.
+run_diff() {
+    baseline_ns >"$workdir/base.txt"
+    fresh_ns "$1" >"$workdir/fresh.txt"
+    awk -v threshold="$THRESHOLD" '
+        NR == FNR { base[$1] = $2; next }
+        $1 in base { fresh[$1] = $2 }
+        END {
+            status = 0
+            n = 0
+            for (name in base) names[++n] = name
+            # deterministic report order
+            for (i = 1; i < n; i++)
+                for (j = i + 1; j <= n; j++)
+                    if (names[j] < names[i]) {
+                        t = names[i]; names[i] = names[j]; names[j] = t
+                    }
+            for (i = 1; i <= n; i++) {
+                name = names[i]
+                if (!(name in fresh)) {
+                    printf "MISSING    %-45s baseline %d ns/op, absent from fresh run\n", name, base[name]
+                    status = 1
+                    continue
+                }
+                ratio = fresh[name] / base[name]
+                verdict = "ok"
+                if (ratio > threshold) { verdict = "REGRESSION"; status = 1 }
+                printf "%-10s %-45s %12d -> %12d ns/op  (%.2fx, limit %.2fx)\n", \
+                    verdict, name, base[name], fresh[name], ratio, threshold
+            }
+            if (n == 0) { print "no benchmarks found in baseline"; status = 1 }
+            exit status
+        }
+    ' "$workdir/base.txt" "$workdir/fresh.txt"
+}
+
+selftest() {
+    # Synthesise a bench log from the baseline itself, dressed up with the
+    # -N suffix and all(N) decoration a real run carries: must pass.
+    baseline_ns | awk '{
+        name = $1
+        sub(/workers=all/, "workers=all(8)", name)
+        printf "%s-8 \t       3 \t %d ns/op \t 1234 B/op \t 5 allocs/op\n", name, $2
+    }' >"$workdir/same.txt"
+    echo "== selftest: identical numbers must pass"
+    run_diff "$workdir/same.txt"
+    # The same log with every ns/op doubled: must fail.
+    awk '{
+        for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") { $i = $i * 2; break }
+        print
+    }' "$workdir/same.txt" >"$workdir/slow.txt"
+    echo "== selftest: 2x slowdown must fail"
+    if run_diff "$workdir/slow.txt"; then
+        echo "selftest FAILED: 2x slowdown was not detected" >&2
+        exit 1
+    fi
+    echo "== selftest passed"
+}
+
+[ $# -eq 1 ] || usage
+case "$1" in
+-selftest) selftest ;;
+-*) usage ;;
+*)
+    [ -f "$1" ] || { echo "benchdiff: no such file: $1" >&2; exit 2; }
+    run_diff "$1"
+    ;;
+esac

@@ -1,0 +1,77 @@
+#!/bin/sh
+# smoke.sh — build the CLIs, boot carolserve on a random loopback port, hit
+# the core endpoints and shut it down gracefully. Any non-200 answer or a
+# non-zero server exit fails the script. Pure sh + curl.
+set -eu
+
+bindir=$(mktemp -d)
+workdir=$(mktemp -d)
+server_pid=
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$bindir" "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$bindir" ./cmd/carolserve ./cmd/carolbench
+
+echo "== carolbench -list"
+"$bindir/carolbench" -list
+
+port=$((20000 + $$ % 20000))
+addr="127.0.0.1:$port"
+echo "== boot carolserve on $addr"
+"$bindir/carolserve" -addr "$addr" &
+server_pid=$!
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -fsS -o /dev/null "http://$addr/healthz" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: server never became healthy on $addr" >&2
+        exit 1
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "smoke: server exited before becoming healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== GET /v1/codecs"
+curl -fsS "http://$addr/v1/codecs"
+echo
+
+echo "== POST /v1/compress"
+# 32x32x1 float32 zeros = 4096 bytes.
+dd if=/dev/zero of="$workdir/field.raw" bs=4096 count=1 2>/dev/null
+curl -fsS -o "$workdir/stream.bin" -D "$workdir/headers.txt" \
+    --data-binary @"$workdir/field.raw" \
+    "http://$addr/v1/compress?codec=szx&rel=1e-3&dims=32x32x1"
+grep -i "X-Carol-Achieved-Ratio" "$workdir/headers.txt"
+
+echo "== GET /metrics"
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+for metric in http_requests_total http_request_seconds_bucket codec_compress_seconds; do
+    grep -q "$metric" "$workdir/metrics.txt" || {
+        echo "smoke: /metrics missing $metric" >&2
+        exit 1
+    }
+done
+wc -l "$workdir/metrics.txt"
+
+echo "== GET /debug/vars"
+curl -fsS -o /dev/null "http://$addr/debug/vars"
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+server_pid=
+if [ "$status" -ne 0 ]; then
+    echo "smoke: server exited $status after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "== smoke passed"
