@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"carol/internal/compressor"
+)
+
+// hostileHeader builds a syntactically valid szx stream header claiming the
+// given dimensions, with no payload behind it.
+func hostileHeader(nx, ny, nz int) []byte {
+	return compressor.AppendHeader(nil, compressor.Header{
+		Magic: compressor.MagicSZx, Nx: nx, Ny: ny, Nz: nz, EB: 1e-3,
+	})
+}
+
+func TestDecompressHostileStreamStatusCodes(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+
+	post := func(t *testing.T, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/decompress?codec=szx",
+			"application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Dims the server's decode limits refuse: over the configured element
+	// ceiling but a plausible uint32 product. This is a policy rejection,
+	// not stream damage, so the client sees 413.
+	resp := post(t, hostileHeader(1<<15, 1<<15, 1<<2))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("over-limit dims: status %d, body %q", resp.StatusCode, b)
+	}
+
+	// Garbage bytes: corrupt stream, 422.
+	resp = post(t, []byte("not a compressed stream at all"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage: status %d", resp.StatusCode)
+	}
+
+	// Valid header, truncated payload: also 422.
+	resp = post(t, hostileHeader(8, 8, 8))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("truncated: status %d", resp.StatusCode)
+	}
+
+	// The instrumented codec must have recorded the rejections by class.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`codec_decode_reject_total{codec="szx",reason="limit"}`,
+		`codec_decode_reject_total{codec="szx",reason="truncated"}`,
+		`codec_decode_reject_total{codec="szx",reason="corrupt"}`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

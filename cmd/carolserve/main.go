@@ -44,6 +44,7 @@ import (
 	"carol/internal/compressor"
 	"carol/internal/field"
 	"carol/internal/fraz"
+	"carol/internal/safedec"
 	"carol/internal/secre"
 )
 
@@ -60,6 +61,12 @@ func main() {
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", cfg.idleTimeout, "keep-alive idle timeout")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", cfg.shutdownTimeout,
 		"grace period for draining in-flight requests on SIGINT/SIGTERM")
+	flag.Int64Var(&cfg.decodeLimits.MaxElements, "max-decode-elements", cfg.decodeLimits.MaxElements,
+		"maximum samples a /v1/decompress stream may claim (413 beyond)")
+	flag.Int64Var(&cfg.decodeLimits.MaxAlloc, "max-decode-alloc", cfg.decodeLimits.MaxAlloc,
+		"maximum bytes a single decode-side allocation may claim (413 beyond)")
+	flag.Int64Var(&cfg.decodeLimits.MaxCount, "max-decode-count", cfg.decodeLimits.MaxCount,
+		"maximum repeated-structure count (chunks, entries) a stream may claim (413 beyond)")
 	flag.Parse()
 	os.Exit(run(cfg, *addr))
 }
@@ -279,9 +286,16 @@ func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	span = tr.StartSpan("codec")
-	f, err := codec.Decompress(stream)
+	f, err := compressor.DecompressLimited(codec, stream, s.cfg.decodeLimits)
 	span.End()
 	if err != nil {
+		// Limit rejections are the client asking for more than this server
+		// will allocate (413: shrink it); truncation/corruption means the
+		// stream itself is bad (422: fix it).
+		if errors.Is(err, safedec.ErrLimit) {
+			httpError(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
+		}
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}

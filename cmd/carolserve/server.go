@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"carol/internal/obs"
+	"carol/internal/safedec"
 )
 
 // config carries the server hardening knobs, set from flags in main and
@@ -19,6 +20,10 @@ type config struct {
 	// trackEstimatorError runs the SECRE surrogate alongside /v1/compress
 	// rel= requests and records estimate-vs-actual ratio error gauges.
 	trackEstimatorError bool
+
+	// decodeLimits bounds what /v1/decompress will allocate from
+	// stream-claimed sizes; limit rejections map to 413, corruption to 422.
+	decodeLimits safedec.Limits
 
 	readTimeout       time.Duration
 	readHeaderTimeout time.Duration
@@ -34,11 +39,19 @@ func defaultConfig() config {
 	return config{
 		maxInflight:         64,
 		trackEstimatorError: true,
-		readTimeout:         5 * time.Minute,
-		readHeaderTimeout:   10 * time.Second,
-		writeTimeout:        10 * time.Minute,
-		idleTimeout:         2 * time.Minute,
-		shutdownTimeout:     15 * time.Second,
+		// Stricter than the safedec library defaults: the body cap is
+		// 512 MiB, so a legitimate stream can never decode to more than
+		// maxBody/4 float32 samples even at ratio 1.
+		decodeLimits: safedec.Limits{
+			MaxElements: maxBody / 4,
+			MaxAlloc:    1 << 30,
+			MaxCount:    1 << 16,
+		},
+		readTimeout:       5 * time.Minute,
+		readHeaderTimeout: 10 * time.Second,
+		writeTimeout:      10 * time.Minute,
+		idleTimeout:       2 * time.Minute,
+		shutdownTimeout:   15 * time.Second,
 	}
 }
 

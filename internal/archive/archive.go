@@ -19,6 +19,7 @@ import (
 	"carol/internal/codecs"
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/safedec"
 	"carol/internal/szp"
 )
 
@@ -122,24 +123,35 @@ type Archive struct {
 	index   map[string]int
 }
 
-// Read parses an archive.
+// Read parses an archive under the default safedec limits.
 func Read(r io.Reader) (*Archive, error) {
+	return ReadLimited(r, safedec.Default())
+}
+
+// ReadLimited parses an archive, refusing (with an error wrapping
+// safedec.ErrLimit) containers whose claimed entry counts or stream lengths
+// exceed lim.
+func ReadLimited(r io.Reader, lim safedec.Limits) (*Archive, error) {
+	lim = lim.Norm()
 	br := bufioReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("archive: magic: %w", err)
+		return nil, fmt.Errorf("archive: magic: %w: %w", safedec.ErrTruncated, err)
 	}
 	if m != magic {
-		return nil, errors.New("archive: bad magic")
+		return nil, fmt.Errorf("archive: bad magic: %w", safedec.ErrCorrupt)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("archive: count: %w", err)
+		return nil, fmt.Errorf("archive: count: %w: %w", safedec.ErrCorrupt, err)
 	}
 	if count > maxFields {
-		return nil, fmt.Errorf("archive: implausible field count %d", count)
+		return nil, fmt.Errorf("archive: implausible field count %d: %w", count, safedec.ErrCorrupt)
 	}
-	a := &Archive{index: make(map[string]int, count)}
+	if err := lim.Count("archive entries", int64(count)); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	a := &Archive{index: make(map[string]int, min(count, 1024))}
 	for i := uint64(0); i < count; i++ {
 		name, err := readString(br)
 		if err != nil {
@@ -153,15 +165,15 @@ func Read(r io.Reader) (*Archive, error) {
 		if err != nil {
 			return nil, fmt.Errorf("archive: entry %d stream length: %w", i, err)
 		}
-		if sLen > 1<<32 {
-			return nil, fmt.Errorf("archive: entry %d implausible stream size", i)
+		if err := lim.Alloc("archive stream", int64(sLen)); err != nil {
+			return nil, fmt.Errorf("archive: entry %d: %w", i, err)
 		}
-		stream := make([]byte, sLen)
-		if _, err := io.ReadFull(br, stream); err != nil {
+		stream, err := readAllN(br, sLen)
+		if err != nil {
 			return nil, fmt.Errorf("archive: entry %d stream: %w", i, err)
 		}
 		if _, dup := a.index[name]; dup {
-			return nil, fmt.Errorf("archive: duplicate entry %q", name)
+			return nil, fmt.Errorf("archive: duplicate entry %q: %w", name, safedec.ErrCorrupt)
 		}
 		a.index[name] = len(a.entries)
 		a.entries = append(a.entries, Entry{Name: name, Codec: codec, Stream: stream})
@@ -169,13 +181,40 @@ func Read(r io.Reader) (*Archive, error) {
 	return a, nil
 }
 
+func min(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}
+
+// readAllN reads exactly n bytes, growing the buffer in bounded steps so a
+// hostile length claim costs at most one chunk of memory before the stream
+// runs dry — never an upfront make([]byte, claimed).
+func readAllN(r io.Reader, n uint64) ([]byte, error) {
+	const step = 1 << 20
+	buf := make([]byte, 0, min(n, step))
+	for uint64(len(buf)) < n {
+		grab := n - uint64(len(buf))
+		if grab > step {
+			grab = step
+		}
+		chunk := len(buf)
+		buf = append(buf, make([]byte, grab)...)
+		if _, err := io.ReadFull(r, buf[chunk:]); err != nil {
+			return nil, fmt.Errorf("%w: %w", safedec.ErrTruncated, err)
+		}
+	}
+	return buf, nil
+}
+
 func readString(br io.ByteReader) (string, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %w", safedec.ErrTruncated, err)
 	}
 	if n > maxNameLen {
-		return "", errors.New("string too long")
+		return "", fmt.Errorf("string too long: %w", safedec.ErrCorrupt)
 	}
 	buf := make([]byte, n)
 	r, ok := br.(io.Reader)
@@ -206,8 +245,13 @@ func (a *Archive) Entry(name string) (Entry, bool) {
 	return a.entries[i], true
 }
 
-// Field decompresses one entry.
+// Field decompresses one entry under the default safedec limits.
 func (a *Archive) Field(name string) (*field.Field, error) {
+	return a.FieldLimited(name, safedec.Default())
+}
+
+// FieldLimited decompresses one entry, enforcing lim on the codec decode.
+func (a *Archive) FieldLimited(name string, lim safedec.Limits) (*field.Field, error) {
 	e, ok := a.Entry(name)
 	if !ok {
 		return nil, fmt.Errorf("archive: no entry %q", name)
@@ -216,7 +260,7 @@ func (a *Archive) Field(name string) (*field.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := codec.Decompress(e.Stream)
+	f, err := compressor.DecompressLimited(codec, e.Stream, lim)
 	if err != nil {
 		return nil, fmt.Errorf("archive: decompress %q: %w", name, err)
 	}

@@ -9,7 +9,7 @@ import (
 	"carol/internal/field"
 )
 
-func testFields(t *testing.T) []*field.Field {
+func testFields(t testing.TB) []*field.Field {
 	t.Helper()
 	fields, err := dataset.GenerateAll("miranda", dataset.Options{Nx: 20, Ny: 20, Nz: 12})
 	if err != nil {

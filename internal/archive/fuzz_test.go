@@ -1,0 +1,58 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+
+	"carol/internal/fuzzseed"
+	"carol/internal/safedec"
+)
+
+// archiveFuzzSeeds builds the seed corpus for FuzzArchiveRead: a valid
+// two-entry archive, truncations of it, and a lying stream length.
+func archiveFuzzSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	w := NewWriter()
+	for _, fld := range testFields(t)[:2] {
+		if err := w.Add(fld.Name, "szx", fld, 1e-2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	return [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		valid[:len(magic)],
+		hostileArchive(1<<31, 100),
+		[]byte("CARL"),
+	}
+}
+
+// TestWriteFuzzCorpus regenerates or validates the checked-in seed corpus.
+func TestWriteFuzzCorpus(t *testing.T) {
+	fuzzseed.Check(t, ".", map[string][][]byte{"FuzzArchiveRead": archiveFuzzSeeds(t)})
+}
+
+// FuzzArchiveRead feeds arbitrary bytes through the container reader: every
+// outcome must be a classified error or a valid archive, never a panic, and
+// allocations must respect the supplied limits even when entry headers lie.
+func FuzzArchiveRead(f *testing.F) {
+	for _, s := range archiveFuzzSeeds(f) {
+		f.Add(s)
+	}
+
+	lim := safedec.Limits{MaxElements: 1 << 18, MaxAlloc: 1 << 24, MaxCount: 1 << 10}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadLimited(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		for _, name := range a.Names() {
+			_, _ = a.FieldLimited(name, lim)
+		}
+	})
+}

@@ -5,13 +5,22 @@
 package bitstream
 
 import (
-	"errors"
 	"fmt"
+
+	"carol/internal/safedec"
 )
 
 // ErrShortStream is returned by Reader methods when the stream ends before
-// the requested number of bits could be read.
-var ErrShortStream = errors.New("bitstream: short stream")
+// the requested number of bits could be read. It belongs to the safedec
+// taxonomy: errors.Is(ErrShortStream, safedec.ErrTruncated) is true, so
+// callers wrapping it with %w propagate the truncation class.
+var ErrShortStream error = shortStreamError{}
+
+type shortStreamError struct{}
+
+func (shortStreamError) Error() string { return "bitstream: short stream" }
+
+func (shortStreamError) Is(target error) bool { return target == safedec.ErrTruncated }
 
 // Writer accumulates bits MSB-first. The zero value is ready to use.
 type Writer struct {

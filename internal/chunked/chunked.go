@@ -13,13 +13,13 @@ package chunked
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/safedec"
 )
 
 // magic identifies chunked containers.
@@ -32,6 +32,9 @@ type Options struct {
 	Chunks int
 	// Workers is the number of concurrent compressions. Default: GOMAXPROCS.
 	Workers int
+	// Limits bounds what Decompress will allocate from container-claimed
+	// sizes. Zero-value fields take the safedec defaults.
+	Limits safedec.Limits
 }
 
 func (o Options) withDefaults() Options {
@@ -143,40 +146,82 @@ func Compress(codec compressor.Codec, f *field.Field, eb float64, opts Options) 
 	return out, nil
 }
 
-// Decompress reverses Compress, decoding slabs in parallel.
+// expectedSlabDims recomputes the encoder's slab geometry from the
+// container dimensions and chunk count. slabRanges is deterministic and the
+// encoder stores n = len(slabRanges(extent, opts.Chunks)), so the decoder
+// can re-derive every slab's exact dims and refuse containers whose decoded
+// chunks claim anything else.
+func expectedSlabDims(nx, ny, nz, n int) [][3]int {
+	var ranges [][2]int
+	var mk func(r [2]int) [3]int
+	switch {
+	case nz > 1:
+		ranges = slabRanges(nz, n)
+		mk = func(r [2]int) [3]int { return [3]int{nx, ny, r[1] - r[0]} }
+	case ny > 1:
+		ranges = slabRanges(ny, n)
+		mk = func(r [2]int) [3]int { return [3]int{nx, r[1] - r[0], 1} }
+	default:
+		ranges = slabRanges(nx, n)
+		mk = func(r [2]int) [3]int { return [3]int{r[1] - r[0], 1, 1} }
+	}
+	out := make([][3]int, len(ranges))
+	for i, r := range ranges {
+		out[i] = mk(r)
+	}
+	return out
+}
+
+// Decompress reverses Compress, decoding slabs in parallel. Container-claimed
+// dimensions, chunk counts and lengths are all validated against opts.Limits
+// before anything is allocated from them.
 func Decompress(codec compressor.Codec, stream []byte, opts Options) (*field.Field, error) {
 	opts = opts.withDefaults()
+	lim := opts.Limits.Norm()
 	if len(stream) < 20 {
-		return nil, errors.New("chunked: short container")
+		return nil, fmt.Errorf("chunked: short container: %w", safedec.ErrTruncated)
 	}
 	if [4]byte(stream[:4]) != magic {
-		return nil, errors.New("chunked: bad container magic")
+		return nil, fmt.Errorf("chunked: bad container magic: %w", safedec.ErrCorrupt)
 	}
 	nx := int(binary.LittleEndian.Uint32(stream[4:]))
 	ny := int(binary.LittleEndian.Uint32(stream[8:]))
 	nz := int(binary.LittleEndian.Uint32(stream[12:]))
 	n := int(binary.LittleEndian.Uint32(stream[16:]))
-	if nx <= 0 || ny <= 0 || nz <= 0 || n <= 0 || n > 1<<16 {
-		return nil, errors.New("chunked: implausible container header")
+	if n <= 0 || n > 1<<16 {
+		return nil, fmt.Errorf("chunked: implausible chunk count %d: %w", n, safedec.ErrCorrupt)
+	}
+	if err := lim.Count("chunked chunks", int64(n)); err != nil {
+		return nil, fmt.Errorf("chunked: %w", err)
+	}
+	// Validate the dims product before field.New computes it; a hostile
+	// header otherwise overflows the int multiply (or allocates petabytes).
+	if _, err := lim.Elements(nx, ny, nz); err != nil {
+		return nil, fmt.Errorf("chunked: container dims: %w", err)
 	}
 	pos := 20
 	lens := make([]int, n)
-	total := 0
+	var total int64
 	for i := range lens {
 		if pos+4 > len(stream) {
-			return nil, errors.New("chunked: truncated length table")
+			return nil, fmt.Errorf("chunked: truncated length table: %w", safedec.ErrTruncated)
 		}
 		lens[i] = int(binary.LittleEndian.Uint32(stream[pos:]))
-		total += lens[i]
+		total += int64(lens[i])
 		pos += 4
 	}
-	if pos+total > len(stream) {
-		return nil, errors.New("chunked: truncated chunk data")
+	if int64(pos)+total > int64(len(stream)) {
+		return nil, fmt.Errorf("chunked: truncated chunk data: %w", safedec.ErrTruncated)
 	}
 	chunks := make([][]byte, n)
 	for i, l := range lens {
 		chunks[i] = stream[pos : pos+l]
 		pos += l
+	}
+	want := expectedSlabDims(nx, ny, nz, n)
+	if len(want) != n {
+		return nil, fmt.Errorf("chunked: %d chunks cannot tile a %dx%dx%d field: %w",
+			n, nx, ny, nz, safedec.ErrCorrupt)
 	}
 
 	slabs := make([]*field.Field, n)
@@ -189,7 +234,14 @@ func Decompress(codec compressor.Codec, stream []byte, opts Options) (*field.Fie
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			slabs[i], errs[i] = codec.Decompress(c)
+			slabs[i], errs[i] = compressor.DecompressLimited(codec, c, lim)
+			if errs[i] == nil {
+				d := want[i]
+				if slabs[i].Nx != d[0] || slabs[i].Ny != d[1] || slabs[i].Nz != d[2] {
+					errs[i] = fmt.Errorf("chunked: slab dims %dx%dx%d, want %dx%dx%d: %w",
+						slabs[i].Nx, slabs[i].Ny, slabs[i].Nz, d[0], d[1], d[2], safedec.ErrCorrupt)
+				}
+			}
 		}(i, c)
 	}
 	wg.Wait()

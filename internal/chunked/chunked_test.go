@@ -9,7 +9,7 @@ import (
 	"carol/internal/field"
 )
 
-func testField(t *testing.T, nx, ny, nz int) *field.Field {
+func testField(t testing.TB, nx, ny, nz int) *field.Field {
 	t.Helper()
 	f, err := dataset.Generate("miranda", "density", dataset.Options{Nx: nx, Ny: ny, Nz: nz})
 	if err != nil {

@@ -1,0 +1,47 @@
+package chunked
+
+import (
+	"testing"
+
+	"carol/internal/fuzzseed"
+	"carol/internal/safedec"
+	"carol/internal/szx"
+)
+
+// chunkedFuzzSeeds builds the seed corpus for FuzzChunkedDecompress: a valid
+// four-chunk container, truncations, and hostile headers.
+func chunkedFuzzSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	fld := testField(t, 512, 1, 1)
+	valid, err := Compress(szx.New(), fld, 1e-2, Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		valid[:21],
+		container(1<<30, 1<<30, 1<<30, 1, []byte{0}),
+		container(4, 4, 4, 1<<17),
+	}
+}
+
+// TestWriteFuzzCorpus regenerates or validates the checked-in seed corpus.
+func TestWriteFuzzCorpus(t *testing.T) {
+	fuzzseed.Check(t, ".", map[string][][]byte{"FuzzChunkedDecompress": chunkedFuzzSeeds(t)})
+}
+
+// FuzzChunkedDecompress drives arbitrary bytes through the parallel chunked
+// container decoder. The worker fan-out makes this the one decode path where
+// a panic would escape on a non-test goroutine, so no-crash here is the
+// whole point of the target.
+func FuzzChunkedDecompress(f *testing.F) {
+	for _, s := range chunkedFuzzSeeds(f) {
+		f.Add(s)
+	}
+
+	opts := Options{Limits: safedec.Limits{MaxElements: 1 << 18, MaxAlloc: 1 << 24, MaxCount: 64}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(szx.New(), data, opts)
+	})
+}

@@ -1,0 +1,118 @@
+package codecs
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"carol/internal/compressor"
+	"carol/internal/safedec"
+	"carol/internal/szp"
+)
+
+// magicFor returns the header magic byte each registered codec expects.
+func magicFor(t *testing.T, name string) byte {
+	t.Helper()
+	switch name {
+	case "szx":
+		return compressor.MagicSZx
+	case "zfp":
+		return compressor.MagicZFP
+	case "sz3":
+		return compressor.MagicSZ3
+	case "sperr":
+		return compressor.MagicSPERR
+	case "szp":
+		return szp.MagicSZP
+	}
+	t.Fatalf("no magic for codec %q", name)
+	return 0
+}
+
+func header(magic byte, nx, ny, nz int, eb float64) []byte {
+	return compressor.AppendHeader(nil, compressor.Header{
+		Magic: magic, Nx: nx, Ny: ny, Nz: nz, EB: eb,
+	})
+}
+
+// TestHostileStreams drives every registered codec through a table of
+// crafted attack streams. Each decode must return an error of the right
+// safedec class — never panic, never succeed, never allocate from the
+// hostile claim. Run under -race in CI; the table is the regression net for
+// the bugs the fuzzing campaign surfaced.
+func TestHostileStreams(t *testing.T) {
+	lim := safedec.Limits{MaxElements: 1 << 20, MaxAlloc: 1 << 24, MaxCount: 1 << 10}
+	for _, codec := range allExtended(t) {
+		m := magicFor(t, codec.Name())
+		cases := []struct {
+			name   string
+			stream []byte
+			// class is the required errors.Is target. nil means the stream
+			// may even decode (e.g. an all-zeros payload is a valid zero
+			// field for some codecs) — the requirement is only no panic and
+			// no unbounded allocation.
+			class error
+		}{
+			{"empty", nil, safedec.ErrTruncated},
+			{"short header", header(m, 4, 4, 4, 1e-3)[:10], safedec.ErrTruncated},
+			{"wrong magic", header(m^0x55, 4, 4, 4, 1e-3), nil},
+			{"zero dims", header(m, 0, 4, 4, 1e-3), safedec.ErrCorrupt},
+			{"huge single dim", header(m, 1<<31-1, 1, 1, 1e-3), safedec.ErrCorrupt},
+			{"dims product over limit", header(m, 1<<11, 1<<11, 1, 1e-3), safedec.ErrLimit},
+			{"dims product overflows int64", header(m, 1<<30, 1<<30, 1<<30, 1e-3), safedec.ErrLimit},
+			{"negative error bound", header(m, 4, 4, 4, -1), safedec.ErrCorrupt},
+			{"infinite error bound", header(m, 4, 4, 4, math.Inf(1)), safedec.ErrCorrupt},
+			{"header only, no payload", header(m, 8, 8, 8, 1e-3), nil},
+			{"payload of zeros", append(header(m, 8, 8, 8, 1e-3), make([]byte, 64)...), nil},
+			{"checksum corrupted", flipByte(header(m, 4, 4, 4, 1e-3), 3), safedec.ErrCorrupt},
+		}
+		for _, tc := range cases {
+			t.Run(codec.Name()+"/"+tc.name, func(t *testing.T) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panicked: %v", r)
+					}
+				}()
+				_, err := compressor.DecompressLimited(codec, tc.stream, lim)
+				if tc.class == nil {
+					return // error optional; no-panic already proven
+				}
+				if err == nil {
+					t.Fatal("hostile stream decoded without error")
+				}
+				if !errors.Is(err, tc.class) {
+					t.Fatalf("err = %v, want class %v", err, tc.class)
+				}
+				if safedec.Classify(err) == "" {
+					t.Fatalf("err %v does not classify", err)
+				}
+			})
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}
+
+// TestLimitsAreHonored proves the limit path end to end: a stream that
+// decodes fine under permissive limits is refused with ErrLimit under a
+// ceiling smaller than its element count.
+func TestLimitsAreHonored(t *testing.T) {
+	f := corruptionField() // 24*20*8 = 3840 elements
+	for _, codec := range allExtended(t) {
+		stream, err := codec.Compress(f, compressor.AbsBound(f, 1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := compressor.DecompressLimited(codec, stream, safedec.Default()); err != nil {
+			t.Fatalf("%s: default limits refused a valid stream: %v", codec.Name(), err)
+		}
+		_, err = compressor.DecompressLimited(codec, stream, safedec.Limits{MaxElements: 1000})
+		if !errors.Is(err, safedec.ErrLimit) {
+			t.Fatalf("%s: tight limits: err = %v, want ErrLimit", codec.Name(), err)
+		}
+	}
+}

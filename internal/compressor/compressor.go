@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"carol/internal/field"
+	"carol/internal/safedec"
 )
 
 // Codec is an error-bounded lossy compressor. Compress must guarantee that
@@ -37,7 +38,37 @@ type Estimator interface {
 }
 
 // ErrBadStream is returned by Decompress implementations on malformed input.
-var ErrBadStream = errors.New("compressor: malformed stream")
+// It belongs to the safedec taxonomy — errors.Is(ErrBadStream,
+// safedec.ErrCorrupt) is true — so every decoder error wrapped with %w is
+// classifiable by safedec.Classify without touching the wrap sites.
+var ErrBadStream error = badStreamError{}
+
+type badStreamError struct{}
+
+func (badStreamError) Error() string { return "compressor: malformed stream" }
+
+func (badStreamError) Is(target error) bool { return target == safedec.ErrCorrupt }
+
+// LimitedDecoder is implemented by codecs whose decoder enforces
+// safedec.Limits. All codecs in this repository implement it; the interface
+// exists so wrappers (Instrument) and generic callers can thread limits
+// without widening the Codec interface.
+type LimitedDecoder interface {
+	// DecompressLimited reconstructs the field encoded in stream, refusing
+	// (with an error wrapping safedec.ErrLimit) any decode whose
+	// header-claimed sizes exceed lim.
+	DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error)
+}
+
+// DecompressLimited decodes stream with c under lim when c supports limits
+// (directly or through a wrapper), falling back to plain Decompress — whose
+// own allocations are still bounded by the safedec defaults — otherwise.
+func DecompressLimited(c Codec, stream []byte, lim safedec.Limits) (*field.Field, error) {
+	if ld, ok := c.(LimitedDecoder); ok {
+		return ld.DecompressLimited(stream, lim)
+	}
+	return c.Decompress(stream)
+}
 
 // Ratio returns the compression ratio achieved by stream on f
 // (original bytes / compressed bytes).
@@ -187,10 +218,18 @@ func AppendHeader(dst []byte, h Header) []byte {
 	return append(dst, buf[:]...)
 }
 
-// ParseHeader decodes a Header and returns the remaining payload.
+// ParseHeader decodes a Header and returns the remaining payload, under
+// the default safedec limits.
 func ParseHeader(stream []byte, wantMagic byte) (Header, []byte, error) {
+	return ParseHeaderLimited(stream, wantMagic, safedec.Default())
+}
+
+// ParseHeaderLimited decodes a Header and returns the remaining payload.
+// The header-claimed dimensions are validated against lim before any
+// caller allocates reconstruction buffers from them.
+func ParseHeaderLimited(stream []byte, wantMagic byte, lim safedec.Limits) (Header, []byte, error) {
 	if len(stream) < headerLen {
-		return Header{}, nil, fmt.Errorf("%w: short header", ErrBadStream)
+		return Header{}, nil, fmt.Errorf("%w: short header: %w", ErrBadStream, safedec.ErrTruncated)
 	}
 	if got := binary.LittleEndian.Uint32(stream[21:]); got != headerSum(stream[:21]) {
 		return Header{}, nil, fmt.Errorf("%w: header checksum mismatch", ErrBadStream)
@@ -205,14 +244,8 @@ func ParseHeader(stream []byte, wantMagic byte) (Header, []byte, error) {
 	if h.Magic != wantMagic {
 		return Header{}, nil, fmt.Errorf("%w: magic %#x, want %#x", ErrBadStream, h.Magic, wantMagic)
 	}
-	if h.Nx <= 0 || h.Ny <= 0 || h.Nz <= 0 {
-		return Header{}, nil, fmt.Errorf("%w: bad dims %dx%dx%d", ErrBadStream, h.Nx, h.Ny, h.Nz)
-	}
-	// Cap the total element count so an adversarial header cannot demand
-	// multi-gigabyte allocations from Decompress.
-	const maxElems = 1 << 28
-	if int64(h.Nx)*int64(h.Ny)*int64(h.Nz) > maxElems {
-		return Header{}, nil, fmt.Errorf("%w: oversized grid", ErrBadStream)
+	if _, err := lim.Elements(h.Nx, h.Ny, h.Nz); err != nil {
+		return Header{}, nil, fmt.Errorf("compressor: header dims: %w", err)
 	}
 	if !(h.EB > 0) || math.IsInf(h.EB, 0) {
 		return Header{}, nil, fmt.Errorf("%w: bad error bound %g", ErrBadStream, h.EB)

@@ -5,6 +5,7 @@ import (
 
 	"carol/internal/field"
 	"carol/internal/obs"
+	"carol/internal/safedec"
 )
 
 // Instrument wraps c so every Compress/Decompress call records latency,
@@ -16,6 +17,9 @@ import (
 //	codec_compress_in_bytes_total{...}       uncompressed bytes in
 //	codec_compress_out_bytes_total{...}      compressed bytes out
 //	codec_errors_total{codec,op}             failed calls
+//	codec_decode_reject_total{codec,reason}  hostile-input rejections by
+//	                                         safedec class (limit,
+//	                                         truncated, corrupt)
 //
 // The wrapper is transparent (Name and results pass through unchanged)
 // and idempotent: instrumenting an already-instrumented codec returns it
@@ -35,6 +39,11 @@ func Instrument(c Codec) Codec {
 		outBytes:          obs.Default.Counter(obs.Label("codec_compress_out_bytes_total", "codec", name)),
 		compressErrors:    obs.Default.Counter(obs.Label("codec_errors_total", "codec", name, "op", "compress")),
 		decompressErrors:  obs.Default.Counter(obs.Label("codec_errors_total", "codec", name, "op", "decompress")),
+		decodeRejects: map[string]*obs.Counter{
+			"limit":     obs.Default.Counter(obs.Label("codec_decode_reject_total", "codec", name, "reason", "limit")),
+			"truncated": obs.Default.Counter(obs.Label("codec_decode_reject_total", "codec", name, "reason", "truncated")),
+			"corrupt":   obs.Default.Counter(obs.Label("codec_decode_reject_total", "codec", name, "reason", "corrupt")),
+		},
 	}
 }
 
@@ -46,6 +55,7 @@ type instrumentedCodec struct {
 	outBytes          *obs.Counter
 	compressErrors    *obs.Counter
 	decompressErrors  *obs.Counter
+	decodeRejects     map[string]*obs.Counter
 }
 
 // Name implements Codec.
@@ -70,8 +80,24 @@ func (ic *instrumentedCodec) Decompress(stream []byte) (*field.Field, error) {
 	start := time.Now()
 	f, err := ic.codec.Decompress(stream)
 	ic.decompressSeconds.ObserveSince(start)
+	return ic.finishDecompress(f, err)
+}
+
+// DecompressLimited implements LimitedDecoder, forwarding the caller's
+// limits to the wrapped codec.
+func (ic *instrumentedCodec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	start := time.Now()
+	f, err := DecompressLimited(ic.codec, stream, lim)
+	ic.decompressSeconds.ObserveSince(start)
+	return ic.finishDecompress(f, err)
+}
+
+func (ic *instrumentedCodec) finishDecompress(f *field.Field, err error) (*field.Field, error) {
 	if err != nil {
 		ic.decompressErrors.Inc()
+		if c, ok := ic.decodeRejects[safedec.Classify(err)]; ok {
+			c.Inc()
+		}
 		return nil, err
 	}
 	return f, nil

@@ -6,19 +6,26 @@ package huffman
 
 import (
 	"container/heap"
-	"errors"
 	"fmt"
 	"sort"
 
 	"carol/internal/bitstream"
+	"carol/internal/safedec"
 )
 
 // maxCodeLen caps code lengths so the decoder tables stay small. With
 // length-limited rebalancing this supports arbitrarily skewed inputs.
 const maxCodeLen = 32
 
-// ErrCorrupt is returned when a stream cannot be decoded.
-var ErrCorrupt = errors.New("huffman: corrupt stream")
+// ErrCorrupt is returned when a stream cannot be decoded. It belongs to the
+// safedec taxonomy: errors.Is(ErrCorrupt, safedec.ErrCorrupt) is true.
+var ErrCorrupt error = corruptError{}
+
+type corruptError struct{}
+
+func (corruptError) Error() string { return "huffman: corrupt stream" }
+
+func (corruptError) Is(target error) bool { return target == safedec.ErrCorrupt }
 
 type node struct {
 	freq        uint64
@@ -213,10 +220,18 @@ func EncodedSizeBits(symbols []uint32) uint64 {
 	return bits
 }
 
-// Decode reverses Encode.
+// Decode reverses Encode under the default safedec limits.
 func Decode(stream []byte) ([]uint32, error) {
+	return DecodeLimited(stream, safedec.Default())
+}
+
+// DecodeLimited reverses Encode, refusing (with an error wrapping
+// safedec.ErrLimit) streams whose claimed symbol count would allocate more
+// than lim.MaxAlloc bytes of output.
+func DecodeLimited(stream []byte, lim safedec.Limits) ([]uint32, error) {
+	lim = lim.Norm()
 	if len(stream) < 8 {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("%w: missing bit length: %w", ErrCorrupt, safedec.ErrTruncated)
 	}
 	var bits uint64
 	for i := 0; i < 8; i++ {
@@ -241,6 +256,9 @@ func Decode(stream []byte) ([]uint32, error) {
 	// one; reject counts the stream cannot possibly back before allocating.
 	if nAlpha*38 > r.Remaining() || nSyms > r.Remaining() {
 		return nil, fmt.Errorf("%w: implausible symbol counts", ErrCorrupt)
+	}
+	if err := lim.Alloc("huffman symbols", 4*int64(nSyms)); err != nil {
+		return nil, fmt.Errorf("huffman: %w", err)
 	}
 	lengths := make(map[uint32]uint, nAlpha)
 	for i := uint64(0); i < nAlpha; i++ {

@@ -22,6 +22,7 @@ import (
 	"carol/internal/bitstream"
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/safedec"
 	"carol/internal/wavelet"
 )
 
@@ -235,7 +236,7 @@ func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, b
 				if budgetHit {
 					return recon, nil
 				}
-				return nil, fmt.Errorf("%w: speck significance: %v", compressor.ErrBadStream, err)
+				return nil, fmt.Errorf("%w: speck significance: %w", compressor.ErrBadStream, err)
 			}
 			if bit == 1 {
 				if rg.leaf() {
@@ -244,7 +245,7 @@ func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, b
 						if budgetHit {
 							return recon, nil
 						}
-						return nil, fmt.Errorf("%w: speck sign: %v", compressor.ErrBadStream, err)
+						return nil, fmt.Errorf("%w: speck sign: %w", compressor.ErrBadStream, err)
 					}
 					idx := (rg.z*ny+rg.y)*nx + rg.x
 					neg[idx] = s == 1
@@ -270,7 +271,7 @@ func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, b
 				if budgetHit {
 					return recon, nil
 				}
-				return nil, fmt.Errorf("%w: speck refinement: %v", compressor.ErrBadStream, err)
+				return nil, fmt.Errorf("%w: speck refinement: %w", compressor.ErrBadStream, err)
 			}
 			step := T / 2
 			if b == 0 {
@@ -406,9 +407,14 @@ func (*Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
 	return append(out, zbuf.Bytes()...), nil
 }
 
-// Decompress implements compressor.Codec.
+// Decompress implements compressor.Codec (default safedec limits).
 func (*Codec) Decompress(stream []byte) (*field.Field, error) {
-	return decompress(stream, -1, true)
+	return decompress(stream, -1, true, safedec.Default())
+}
+
+// DecompressLimited implements compressor.LimitedDecoder.
+func (*Codec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	return decompress(stream, -1, true, lim)
 }
 
 // DecompressProgressive reconstructs from only the first frac (0, 1] of
@@ -421,23 +427,36 @@ func DecompressProgressive(stream []byte, frac float64) (*field.Field, error) {
 	if !(frac > 0) || frac > 1 {
 		return nil, fmt.Errorf("sperr: invalid progressive fraction %g", frac)
 	}
-	return decompress(stream, frac, frac >= 1)
+	return decompress(stream, frac, frac >= 1, safedec.Default())
+}
+
+// DecompressProgressiveLimited is DecompressProgressive with explicit
+// safedec limits.
+func DecompressProgressiveLimited(stream []byte, frac float64, lim safedec.Limits) (*field.Field, error) {
+	if !(frac > 0) || frac > 1 {
+		return nil, fmt.Errorf("sperr: invalid progressive fraction %g", frac)
+	}
+	return decompress(stream, frac, frac >= 1, lim)
 }
 
 // decompress implements both full and progressive decoding. speckFrac < 0
 // decodes everything.
-func decompress(stream []byte, speckFrac float64, applyOutliers bool) (*field.Field, error) {
-	h, rest, err := compressor.ParseHeader(stream, compressor.MagicSPERR)
+func decompress(stream []byte, speckFrac float64, applyOutliers bool, lim safedec.Limits) (*field.Field, error) {
+	lim = lim.Norm()
+	h, rest, err := compressor.ParseHeaderLimited(stream, compressor.MagicSPERR, lim)
 	if err != nil {
 		return nil, err
 	}
 	// Bound the inflate output so corrupted streams cannot become
 	// decompression bombs (see the matching guard in package sz3).
 	maxPayload := int64(h.Nx)*int64(h.Ny)*int64(h.Nz)*16 + 1<<20
+	if maxPayload > lim.MaxAlloc {
+		maxPayload = lim.MaxAlloc
+	}
 	zr := flate.NewReader(bytes.NewReader(rest))
 	payload, err := io.ReadAll(io.LimitReader(zr, maxPayload+1))
 	if err != nil {
-		return nil, fmt.Errorf("%w: sperr inflate: %v", compressor.ErrBadStream, err)
+		return nil, fmt.Errorf("%w: sperr inflate: %w", compressor.ErrBadStream, err)
 	}
 	if int64(len(payload)) > maxPayload {
 		return nil, fmt.Errorf("%w: sperr payload exceeds plausible size", compressor.ErrBadStream)
@@ -457,17 +476,27 @@ func decompress(stream []byte, speckFrac float64, applyOutliers bool) (*field.Fi
 	if nOut < 0 || nOut > n {
 		return nil, fmt.Errorf("%w: sperr outlier count %d", compressor.ErrBadStream, nOut)
 	}
+	// Each outlier costs at least two varint bytes; a count the remaining
+	// payload cannot back is rejected before the slice is allocated.
+	if nOut*2 > len(payload)-fixed {
+		return nil, fmt.Errorf("%w: sperr outlier count %d exceeds payload", compressor.ErrBadStream, nOut)
+	}
 	br := bytes.NewReader(payload[fixed:])
 	outliers := make([]outlier, nOut)
 	prev := 0
 	for i := range outliers {
 		d, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: sperr outlier index: %v", compressor.ErrBadStream, err)
+			return nil, fmt.Errorf("%w: sperr outlier index: %w", compressor.ErrBadStream, err)
 		}
 		z, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: sperr outlier value: %v", compressor.ErrBadStream, err)
+			return nil, fmt.Errorf("%w: sperr outlier value: %w", compressor.ErrBadStream, err)
+		}
+		// Bound the delta before the signed add: a 64-bit delta could wrap
+		// prev negative and index g.Data out of range from below.
+		if d > uint64(n) {
+			return nil, fmt.Errorf("%w: sperr outlier delta %d out of range", compressor.ErrBadStream, d)
 		}
 		prev += int(d)
 		if prev >= n {
@@ -477,12 +506,12 @@ func decompress(stream []byte, speckFrac float64, applyOutliers bool) (*field.Fi
 	}
 	var lbuf [8]byte
 	if _, err := io.ReadFull(br, lbuf[:]); err != nil {
-		return nil, fmt.Errorf("%w: sperr speck length: %v", compressor.ErrBadStream, err)
+		return nil, fmt.Errorf("%w: sperr speck length: %w", compressor.ErrBadStream, err)
 	}
 	speckBits := binary.LittleEndian.Uint64(lbuf[:])
 	speckBytes := make([]byte, br.Len())
 	if _, err := io.ReadFull(br, speckBytes); err != nil {
-		return nil, fmt.Errorf("%w: sperr speck payload: %v", compressor.ErrBadStream, err)
+		return nil, fmt.Errorf("%w: sperr speck payload: %w", compressor.ErrBadStream, err)
 	}
 	if speckBits > uint64(len(speckBytes))*8 {
 		return nil, fmt.Errorf("%w: sperr speck bit length", compressor.ErrBadStream)

@@ -23,6 +23,7 @@ import (
 	"carol/internal/compressor"
 	"carol/internal/field"
 	"carol/internal/huffman"
+	"carol/internal/safedec"
 )
 
 // quantRadius is half the quantizer's code range; residuals quantizing
@@ -263,9 +264,15 @@ func (c *Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
 	return append(out, zbuf.Bytes()...), nil
 }
 
-// Decompress implements compressor.Codec.
-func (*Codec) Decompress(stream []byte) (*field.Field, error) {
-	h, rest, err := compressor.ParseHeader(stream, compressor.MagicSZ3)
+// Decompress implements compressor.Codec (default safedec limits).
+func (c *Codec) Decompress(stream []byte) (*field.Field, error) {
+	return c.DecompressLimited(stream, safedec.Default())
+}
+
+// DecompressLimited implements compressor.LimitedDecoder.
+func (*Codec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	lim = lim.Norm()
+	h, rest, err := compressor.ParseHeaderLimited(stream, compressor.MagicSZ3, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -273,64 +280,58 @@ func (*Codec) Decompress(stream []byte) (*field.Field, error) {
 	// words per grid point, and a corrupted stream must not become a
 	// decompression bomb.
 	maxPayload := int64(h.Nx)*int64(h.Ny)*int64(h.Nz)*16 + 1<<20
+	if maxPayload > lim.MaxAlloc {
+		maxPayload = lim.MaxAlloc
+	}
 	zr := flate.NewReader(bytes.NewReader(rest))
 	payload, err := io.ReadAll(io.LimitReader(zr, maxPayload+1))
 	if err != nil {
 		return nil, fmt.Errorf("%w: sz3 inflate: %v", compressor.ErrBadStream, err)
 	}
 	if int64(len(payload)) > maxPayload {
-		return nil, fmt.Errorf("%w: sz3 payload exceeds plausible size", compressor.ErrBadStream)
+		return nil, fmt.Errorf("%w: sz3 payload exceeds plausible size: %w", compressor.ErrBadStream, safedec.ErrLimit)
 	}
-	pos := 0
-	readU32 := func() (uint32, error) {
-		if pos+4 > len(payload) {
-			return 0, fmt.Errorf("%w: sz3 payload truncated", compressor.ErrBadStream)
-		}
-		v := binary.LittleEndian.Uint32(payload[pos:])
-		pos += 4
-		return v, nil
+	sr := safedec.NewReader(payload)
+	modeByte, err := sr.U8("sz3 mode")
+	if err != nil {
+		return nil, fmt.Errorf("%w: sz3 missing mode byte: %w", compressor.ErrBadStream, err)
 	}
-	if pos >= len(payload) {
-		return nil, fmt.Errorf("%w: sz3 missing mode byte", compressor.ErrBadStream)
-	}
-	mode := Mode(payload[pos])
-	pos++
+	mode := Mode(modeByte)
 	if mode != ModeInterpolation && mode != ModeLorenzo {
 		return nil, fmt.Errorf("%w: sz3 unknown mode %d", compressor.ErrBadStream, mode)
 	}
-	nAnchors, err := readU32()
+	// readF32s validates the claimed count against both the field size and
+	// the bytes actually present BEFORE allocating the destination slice, so
+	// a hostile count cannot trigger a multi-GiB make([]float32, n).
+	readF32s := func(what string) ([]float32, error) {
+		n, err := sr.U32(what + " count")
+		if err != nil {
+			return nil, fmt.Errorf("%w: sz3 %s count: %w", compressor.ErrBadStream, what, err)
+		}
+		if uint64(n) > uint64(h.Nx)*uint64(h.Ny)*uint64(h.Nz) {
+			return nil, fmt.Errorf("%w: sz3 %s count %d", compressor.ErrBadStream, what, n)
+		}
+		raw, err := sr.Take(what+" values", int(n)*4)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sz3 %s payload: %w", compressor.ErrBadStream, what, err)
+		}
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		return vals, nil
+	}
+	anchors, err := readF32s("anchor")
 	if err != nil {
 		return nil, err
 	}
-	if uint64(nAnchors) > uint64(h.Nx)*uint64(h.Ny)*uint64(h.Nz) {
-		return nil, fmt.Errorf("%w: sz3 anchor count %d", compressor.ErrBadStream, nAnchors)
-	}
-	anchors := make([]float32, nAnchors)
-	for i := range anchors {
-		b, err := readU32()
-		if err != nil {
-			return nil, err
-		}
-		anchors[i] = math.Float32frombits(b)
-	}
-	nOutliers, err := readU32()
+	outliers, err := readF32s("outlier")
 	if err != nil {
 		return nil, err
 	}
-	if uint64(nOutliers) > uint64(h.Nx)*uint64(h.Ny)*uint64(h.Nz) {
-		return nil, fmt.Errorf("%w: sz3 outlier count %d", compressor.ErrBadStream, nOutliers)
-	}
-	outliers := make([]float32, nOutliers)
-	for i := range outliers {
-		b, err := readU32()
-		if err != nil {
-			return nil, err
-		}
-		outliers[i] = math.Float32frombits(b)
-	}
-	codes, err := huffman.Decode(payload[pos:])
+	codes, err := huffman.DecodeLimited(sr.Rest(), lim)
 	if err != nil {
-		return nil, fmt.Errorf("%w: sz3 huffman: %v", compressor.ErrBadStream, err)
+		return nil, fmt.Errorf("%w: sz3 huffman: %w", compressor.ErrBadStream, err)
 	}
 
 	nx, ny, nz := h.Nx, h.Ny, h.Nz

@@ -20,6 +20,7 @@ import (
 	"carol/internal/bitstream"
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/safedec"
 )
 
 // BlockSize is the number of consecutive samples per block (cuSZp's
@@ -128,23 +129,27 @@ func (*Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
 	return append(out, w.Bytes()...), nil
 }
 
-// Decompress implements compressor.Codec.
-func (*Codec) Decompress(stream []byte) (*field.Field, error) {
-	h, rest, err := compressor.ParseHeader(stream, MagicSZP)
+// Decompress implements compressor.Codec (default safedec limits).
+func (c *Codec) Decompress(stream []byte) (*field.Field, error) {
+	return c.DecompressLimited(stream, safedec.Default())
+}
+
+// DecompressLimited implements compressor.LimitedDecoder.
+func (*Codec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	h, rest, err := compressor.ParseHeaderLimited(stream, MagicSZP, lim)
 	if err != nil {
 		return nil, err
 	}
-	if len(rest) < 8 {
-		return nil, fmt.Errorf("%w: szp missing bit length", compressor.ErrBadStream)
+	sr := safedec.NewReader(rest)
+	bits, err := sr.BE64("szp bit length")
+	if err != nil {
+		return nil, fmt.Errorf("%w: szp missing bit length: %w", compressor.ErrBadStream, err)
 	}
-	var bits uint64
-	for i := 0; i < 8; i++ {
-		bits = bits<<8 | uint64(rest[i])
-	}
-	if bits > uint64(len(rest)-8)*8 {
+	payload := sr.Rest()
+	if bits > uint64(len(payload))*8 {
 		return nil, fmt.Errorf("%w: szp bit length exceeds payload", compressor.ErrBadStream)
 	}
-	r := bitstream.NewReader(rest[8:], bits)
+	r := bitstream.NewReader(payload, bits)
 	f := field.New("szp", h.Nx, h.Ny, h.Nz)
 	twoEB := 2 * h.EB
 	prev := int64(0)
@@ -156,13 +161,13 @@ func (*Codec) Decompress(stream []byte) (*field.Field, error) {
 		block := f.Data[start:end]
 		rawFlag, err := r.ReadBit()
 		if err != nil {
-			return nil, fmt.Errorf("%w: szp raw flag: %v", compressor.ErrBadStream, err)
+			return nil, fmt.Errorf("%w: szp raw flag: %w", compressor.ErrBadStream, err)
 		}
 		if rawFlag == 1 {
 			for i := range block {
 				b, err := r.ReadBits(32)
 				if err != nil {
-					return nil, fmt.Errorf("%w: szp raw sample: %v", compressor.ErrBadStream, err)
+					return nil, fmt.Errorf("%w: szp raw sample: %w", compressor.ErrBadStream, err)
 				}
 				block[i] = math.Float32frombits(uint32(b))
 			}
@@ -171,7 +176,7 @@ func (*Codec) Decompress(stream []byte) (*field.Field, error) {
 		}
 		zeroFlag, err := r.ReadBit()
 		if err != nil {
-			return nil, fmt.Errorf("%w: szp zero flag: %v", compressor.ErrBadStream, err)
+			return nil, fmt.Errorf("%w: szp zero flag: %w", compressor.ErrBadStream, err)
 		}
 		if zeroFlag == 1 {
 			v := float32(float64(prev) * twoEB)
@@ -182,7 +187,7 @@ func (*Codec) Decompress(stream []byte) (*field.Field, error) {
 		}
 		w64, err := r.ReadBits(6)
 		if err != nil {
-			return nil, fmt.Errorf("%w: szp width: %v", compressor.ErrBadStream, err)
+			return nil, fmt.Errorf("%w: szp width: %w", compressor.ErrBadStream, err)
 		}
 		width := uint(w64)
 		if width == 0 || width == rawWidth || width > 44 {
@@ -191,7 +196,7 @@ func (*Codec) Decompress(stream []byte) (*field.Field, error) {
 		for i := range block {
 			u, err := r.ReadBits(width)
 			if err != nil {
-				return nil, fmt.Errorf("%w: szp delta: %v", compressor.ErrBadStream, err)
+				return nil, fmt.Errorf("%w: szp delta: %w", compressor.ErrBadStream, err)
 			}
 			prev += unzig(u)
 			block[i] = float32(float64(prev) * twoEB)

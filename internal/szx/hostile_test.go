@@ -1,0 +1,37 @@
+package szx
+
+import (
+	"errors"
+	"testing"
+
+	"carol/internal/compressor"
+	"carol/internal/safedec"
+)
+
+// TestBitLengthBeyondPayloadRejected is the regression test for the missing
+// bit-length validation: the prefix used to be trusted, so a tampered
+// length claiming more bits than the payload holds sailed into the block
+// loop instead of being rejected at the door.
+func TestBitLengthBeyondPayloadRejected(t *testing.T) {
+	f := compressor.Header{Magic: compressor.MagicSZx, Nx: 8, Ny: 1, Nz: 1, EB: 1e-3}
+	stream := compressor.AppendHeader(nil, f)
+	// Bit length claims 2^40 bits; zero payload bytes follow.
+	stream = append(stream, 0, 0, 0x01, 0, 0, 0, 0, 0)
+	_, err := New().Decompress(stream)
+	if err == nil {
+		t.Fatal("oversized bit length accepted")
+	}
+	if !errors.Is(err, compressor.ErrBadStream) {
+		t.Fatalf("err = %v, want ErrBadStream", err)
+	}
+}
+
+// TestDecompressLimited checks limit threading on the szx path.
+func TestDecompressLimited(t *testing.T) {
+	f := compressor.Header{Magic: compressor.MagicSZx, Nx: 1 << 10, Ny: 1 << 10, Nz: 4, EB: 1e-3}
+	stream := compressor.AppendHeader(nil, f)
+	_, err := New().DecompressLimited(stream, safedec.Limits{MaxElements: 1 << 20})
+	if !errors.Is(err, safedec.ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}

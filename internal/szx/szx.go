@@ -17,6 +17,7 @@ import (
 	"carol/internal/bitstream"
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/safedec"
 )
 
 // BlockSize is the number of consecutive samples per block (the value the
@@ -113,20 +114,27 @@ func encodeBlock(w *bitstream.Writer, block []float32, eb float64) {
 	}
 }
 
-// Decompress implements compressor.Codec.
-func (*Codec) Decompress(stream []byte) (*field.Field, error) {
-	h, rest, err := compressor.ParseHeader(stream, compressor.MagicSZx)
+// Decompress implements compressor.Codec (default safedec limits).
+func (c *Codec) Decompress(stream []byte) (*field.Field, error) {
+	return c.DecompressLimited(stream, safedec.Default())
+}
+
+// DecompressLimited implements compressor.LimitedDecoder.
+func (*Codec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	h, rest, err := compressor.ParseHeaderLimited(stream, compressor.MagicSZx, lim)
 	if err != nil {
 		return nil, err
 	}
-	if len(rest) < 8 {
-		return nil, fmt.Errorf("%w: missing bit length", compressor.ErrBadStream)
+	sr := safedec.NewReader(rest)
+	bits, err := sr.BE64("szx bit length")
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing bit length: %w", compressor.ErrBadStream, err)
 	}
-	var bits uint64
-	for i := 0; i < 8; i++ {
-		bits = bits<<8 | uint64(rest[i])
+	payload := sr.Rest()
+	if bits > uint64(len(payload))*8 {
+		return nil, fmt.Errorf("%w: bit length %d exceeds payload", compressor.ErrBadStream, bits)
 	}
-	r := bitstream.NewReader(rest[8:], bits)
+	r := bitstream.NewReader(payload, bits)
 	f := field.New("szx", h.Nx, h.Ny, h.Nz)
 	for start := 0; start < len(f.Data); start += BlockSize {
 		end := start + BlockSize
@@ -143,12 +151,12 @@ func (*Codec) Decompress(stream []byte) (*field.Field, error) {
 func decodeBlock(r *bitstream.Reader, block []float32, eb float64) error {
 	flag, err := r.ReadBit()
 	if err != nil {
-		return fmt.Errorf("%w: block flag: %v", compressor.ErrBadStream, err)
+		return fmt.Errorf("%w: block flag: %w", compressor.ErrBadStream, err)
 	}
 	if flag == 1 {
 		raw, err := r.ReadBits(32)
 		if err != nil {
-			return fmt.Errorf("%w: constant payload: %v", compressor.ErrBadStream, err)
+			return fmt.Errorf("%w: constant payload: %w", compressor.ErrBadStream, err)
 		}
 		c := math.Float32frombits(uint32(raw))
 		for i := range block {
@@ -158,14 +166,14 @@ func decodeBlock(r *bitstream.Reader, block []float32, eb float64) error {
 	}
 	w64, err := r.ReadBits(6)
 	if err != nil {
-		return fmt.Errorf("%w: block width: %v", compressor.ErrBadStream, err)
+		return fmt.Errorf("%w: block width: %w", compressor.ErrBadStream, err)
 	}
 	width := uint(w64)
 	if width == rawWidth {
 		for i := range block {
 			raw, err := r.ReadBits(32)
 			if err != nil {
-				return fmt.Errorf("%w: raw sample: %v", compressor.ErrBadStream, err)
+				return fmt.Errorf("%w: raw sample: %w", compressor.ErrBadStream, err)
 			}
 			block[i] = math.Float32frombits(uint32(raw))
 		}
@@ -176,13 +184,13 @@ func decodeBlock(r *bitstream.Reader, block []float32, eb float64) error {
 	}
 	loBits, err := r.ReadBits(32)
 	if err != nil {
-		return fmt.Errorf("%w: block min: %v", compressor.ErrBadStream, err)
+		return fmt.Errorf("%w: block min: %w", compressor.ErrBadStream, err)
 	}
 	lo := float64(math.Float32frombits(uint32(loBits)))
 	for i := range block {
 		q, err := r.ReadBits(width)
 		if err != nil {
-			return fmt.Errorf("%w: sample code: %v", compressor.ErrBadStream, err)
+			return fmt.Errorf("%w: sample code: %w", compressor.ErrBadStream, err)
 		}
 		block[i] = float32(lo + (float64(q)+0.5)*2*eb)
 	}

@@ -25,6 +25,7 @@ import (
 	"carol/internal/bitstream"
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/safedec"
 )
 
 // side is the block edge length (4, as in ZFP).
@@ -459,7 +460,7 @@ func writeRawBlock(w *bitstream.Writer, blk []float64) {
 func decodeBlock(r *bitstream.Reader, blk []float64, sh blockShape) error {
 	zero, err := r.ReadBit()
 	if err != nil {
-		return fmt.Errorf("%w: zfp block flag: %v", compressor.ErrBadStream, err)
+		return fmt.Errorf("%w: zfp block flag: %w", compressor.ErrBadStream, err)
 	}
 	if zero == 1 {
 		zeroFill(blk)
@@ -467,13 +468,13 @@ func decodeBlock(r *bitstream.Reader, blk []float64, sh blockShape) error {
 	}
 	raw, err := r.ReadBit()
 	if err != nil {
-		return fmt.Errorf("%w: zfp raw flag: %v", compressor.ErrBadStream, err)
+		return fmt.Errorf("%w: zfp raw flag: %w", compressor.ErrBadStream, err)
 	}
 	if raw == 1 {
 		for i := range blk {
 			b, err := r.ReadBits(32)
 			if err != nil {
-				return fmt.Errorf("%w: zfp raw sample: %v", compressor.ErrBadStream, err)
+				return fmt.Errorf("%w: zfp raw sample: %w", compressor.ErrBadStream, err)
 			}
 			blk[i] = float64(math.Float32frombits(uint32(b)))
 		}
@@ -481,12 +482,12 @@ func decodeBlock(r *bitstream.Reader, blk []float64, sh blockShape) error {
 	}
 	e64, err := r.ReadBits(16)
 	if err != nil {
-		return fmt.Errorf("%w: zfp exponent: %v", compressor.ErrBadStream, err)
+		return fmt.Errorf("%w: zfp exponent: %w", compressor.ErrBadStream, err)
 	}
 	emax := int(e64) - 1024
 	k64, err := r.ReadBits(6)
 	if err != nil {
-		return fmt.Errorf("%w: zfp kmin: %v", compressor.ErrBadStream, err)
+		return fmt.Errorf("%w: zfp kmin: %w", compressor.ErrBadStream, err)
 	}
 	kmin := int(k64)
 	if kmin == 63 {
@@ -542,27 +543,31 @@ func sealStream(magic byte, f *field.Field, eb float64, w *bitstream.Writer) []b
 	return append(out, w.Bytes()...)
 }
 
-func openStream(stream []byte, magic byte) (compressor.Header, *bitstream.Reader, error) {
-	h, rest, err := compressor.ParseHeader(stream, magic)
+func openStream(stream []byte, magic byte, lim safedec.Limits) (compressor.Header, *bitstream.Reader, error) {
+	h, rest, err := compressor.ParseHeaderLimited(stream, magic, lim)
 	if err != nil {
 		return compressor.Header{}, nil, err
 	}
-	if len(rest) < 8 {
-		return compressor.Header{}, nil, fmt.Errorf("%w: missing bit length", compressor.ErrBadStream)
+	sr := safedec.NewReader(rest)
+	bits, err := sr.BE64("zfp bit length")
+	if err != nil {
+		return compressor.Header{}, nil, fmt.Errorf("%w: missing bit length: %w", compressor.ErrBadStream, err)
 	}
-	var bits uint64
-	for i := 0; i < 8; i++ {
-		bits = bits<<8 | uint64(rest[i])
-	}
-	if bits > uint64(len(rest)-8)*8 {
+	payload := sr.Rest()
+	if bits > uint64(len(payload))*8 {
 		return compressor.Header{}, nil, fmt.Errorf("%w: bit length exceeds payload", compressor.ErrBadStream)
 	}
-	return h, bitstream.NewReader(rest[8:], bits), nil
+	return h, bitstream.NewReader(payload, bits), nil
 }
 
-// Decompress implements compressor.Codec.
-func (*Codec) Decompress(stream []byte) (*field.Field, error) {
-	h, r, err := openStream(stream, compressor.MagicZFP)
+// Decompress implements compressor.Codec (default safedec limits).
+func (c *Codec) Decompress(stream []byte) (*field.Field, error) {
+	return c.DecompressLimited(stream, safedec.Default())
+}
+
+// DecompressLimited implements compressor.LimitedDecoder.
+func (*Codec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	h, r, err := openStream(stream, compressor.MagicZFP, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -627,11 +632,22 @@ func CompressFixedRate(f *field.Field, rate float64) ([]byte, error) {
 	return sealStream(compressor.MagicZFP, f, rate, w), nil
 }
 
-// DecompressFixedRate reverses CompressFixedRate.
+// DecompressFixedRate reverses CompressFixedRate under default limits.
 func DecompressFixedRate(stream []byte) (*field.Field, error) {
-	h, r, err := openStream(stream, compressor.MagicZFP)
+	return DecompressFixedRateLimited(stream, safedec.Default())
+}
+
+// DecompressFixedRateLimited reverses CompressFixedRate, enforcing lim. The
+// rate travels in the EB header slot; a hostile stream can claim any float64
+// there, so it is validated against the 64 bits/sample ceiling before the
+// per-block bit budget is derived from it.
+func DecompressFixedRateLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	h, r, err := openStream(stream, compressor.MagicZFP, lim)
 	if err != nil {
 		return nil, err
+	}
+	if !(h.EB > 0) || h.EB > 64 {
+		return nil, fmt.Errorf("%w: zfp-fr rate %g out of range (0, 64]", compressor.ErrBadStream, h.EB)
 	}
 	f := field.New("zfp-fr", h.Nx, h.Ny, h.Nz)
 	sh := shapes[f.Dims()]
@@ -648,14 +664,14 @@ func DecompressFixedRate(stream []byte) (*field.Field, error) {
 				start := int64(r.Consumed())
 				zero, err := r.ReadBit()
 				if err != nil {
-					return nil, fmt.Errorf("%w: zfp-fr flag: %v", compressor.ErrBadStream, err)
+					return nil, fmt.Errorf("%w: zfp-fr flag: %w", compressor.ErrBadStream, err)
 				}
 				if zero == 1 {
 					zeroFill(blk)
 				} else {
 					e64, err := r.ReadBits(16)
 					if err != nil {
-						return nil, fmt.Errorf("%w: zfp-fr exponent: %v", compressor.ErrBadStream, err)
+						return nil, fmt.Errorf("%w: zfp-fr exponent: %w", compressor.ErrBadStream, err)
 					}
 					for i := range u {
 						u[i] = 0
@@ -667,7 +683,7 @@ func DecompressFixedRate(stream []byte) (*field.Field, error) {
 				// Skip padding.
 				for int64(r.Consumed())-start < budget {
 					if _, err := r.ReadBit(); err != nil {
-						return nil, fmt.Errorf("%w: zfp-fr padding: %v", compressor.ErrBadStream, err)
+						return nil, fmt.Errorf("%w: zfp-fr padding: %w", compressor.ErrBadStream, err)
 					}
 				}
 				scatterBlock(f, sh, bx, by, bz, blk)
