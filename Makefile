@@ -1,4 +1,4 @@
-.PHONY: check build vet lint test race bench-rf
+.PHONY: check build vet lint test race bench-rf bench-model
 
 check: ## build + vet + race-enabled tests + carollint (the tier-1 gate)
 	./scripts/check.sh
@@ -24,3 +24,8 @@ race:
 # BENCH_RF.json.
 bench-rf:
 	go test -run '^$$' -bench 'BenchmarkTrain|BenchmarkCrossValidate|BenchmarkPredict' -benchmem ./internal/rf/
+
+# The artifact load/predict benchmarks whose numbers are committed to
+# BENCH_MODEL.json (carolserve's warm-load and serving hot paths).
+bench-model:
+	go test -run '^$$' -bench 'BenchmarkArtifact' -benchmem ./internal/model/

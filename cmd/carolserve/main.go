@@ -11,10 +11,17 @@
 //	POST /v1/compress?codec=sz3&ratio=100&dims=128x128x64  -> stream (FRaZ search)
 //	POST /v1/decompress?codec=sz3                          -> raw float32
 //	POST /v1/estimate?codec=sperr&rel=1e-3&dims=...        -> JSON ratio estimate
+//	POST /v1/predict?model=sz3&ratio=50,100&dims=...       -> JSON error-bound predictions
+//	GET  /v1/models                                        -> JSON loaded-model listing
 //	GET  /v1/codecs                                        -> JSON codec list
 //	GET  /metrics                                          -> text metrics exposition
 //	GET  /debug/vars                                       -> JSON metrics snapshot
 //	GET  /healthz                                          -> liveness probe
+//	GET  /readyz                                           -> readiness (503 until models load)
+//
+// With -model-dir pointing at a caroltrain registry, the newest version
+// of every model is loaded before traffic is accepted and hot-swapped on
+// SIGHUP without dropping in-flight requests (DESIGN.md §12).
 //
 // The server is hardened for production traffic: read/write/idle
 // timeouts, a semaphore-bounded in-flight request limit (503 +
@@ -51,6 +58,8 @@ import (
 func main() {
 	cfg := defaultConfig()
 	addr := flag.String("addr", ":8080", "listen address")
+	flag.StringVar(&cfg.modelDir, "model-dir", cfg.modelDir,
+		"caroltrain model registry to warm-load and serve on /v1/predict; SIGHUP hot-reloads")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", cfg.maxInflight,
 		"maximum concurrently served /v1/ requests; excess get 503 + Retry-After")
 	flag.BoolVar(&cfg.trackEstimatorError, "track-estimator-error", cfg.trackEstimatorError,
@@ -80,8 +89,18 @@ func run(cfg config, addr string) int {
 		log.Printf("carolserve: listen: %v", err)
 		return 1
 	}
+	s := newServerWith(cfg)
+	if s.models != nil {
+		// Warm load before accepting traffic; a failure is not fatal — the
+		// server starts and /readyz answers 503 until a reload succeeds.
+		if err := s.models.Reload(); err != nil {
+			log.Printf("carolserve: warm load: %v", err)
+		}
+		stopHUP := s.models.watchHUP()
+		defer stopHUP()
+	}
 	srv := &http.Server{
-		Handler:           newServerWith(cfg),
+		Handler:           s,
 		ReadTimeout:       cfg.readTimeout,
 		ReadHeaderTimeout: cfg.readHeaderTimeout,
 		WriteTimeout:      cfg.writeTimeout,

@@ -23,7 +23,13 @@ type config struct {
 
 	// decodeLimits bounds what /v1/decompress will allocate from
 	// stream-claimed sizes; limit rejections map to 413, corruption to 422.
+	// Model-artifact loading is bounded by the same limits.
 	decodeLimits safedec.Limits
+
+	// modelDir, when set, points at a caroltrain registry: the newest
+	// version of every model is warm-loaded at boot, served on /v1/predict,
+	// and hot-swapped on SIGHUP. Empty disables model serving.
+	modelDir string
 
 	readTimeout       time.Duration
 	readHeaderTimeout time.Duration
@@ -64,6 +70,8 @@ type server struct {
 	reg     *obs.Registry
 	sem     chan struct{}
 	handler http.Handler
+	// models is the hot-swappable model store, nil without -model-dir.
+	models *modelStore
 
 	inflight  *obs.Gauge
 	throttled *obs.Counter
@@ -95,14 +103,20 @@ func newServerWith(cfg config) *server {
 		throttled: obs.Default.Counter("http_throttled_total"),
 		panics:    obs.Default.Counter("http_panics_total"),
 	}
+	if cfg.modelDir != "" {
+		s.models = newModelStore(cfg.modelDir, cfg.decodeLimits)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/codecs", s.handleCodecs)
 	mux.HandleFunc("/v1/compress", s.handleCompress)
 	mux.HandleFunc("/v1/decompress", s.handleDecompress)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	s.handler = s.measure(s.recoverPanics(s.limit(mux)))
 	return s
 }
@@ -118,7 +132,8 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/codecs", "/v1/compress", "/v1/decompress", "/v1/estimate",
-		"/metrics", "/debug/vars", "/healthz":
+		"/v1/models", "/v1/predict", "/metrics", "/debug/vars",
+		"/healthz", "/readyz":
 		return path
 	}
 	return "other"

@@ -1,0 +1,266 @@
+// Command caroltrain is the offline half of CAROL's model lifecycle: it
+// runs the full training pipeline — surrogate data collection, optional
+// calibration, Bayesian-optimized random-forest fitting — and publishes
+// the result as a versioned artifact in an on-disk model registry, where
+// a warm-loading carolserve picks it up (DESIGN.md §12).
+//
+//	caroltrain -codec sz3 -model-dir ./models -datasets miranda,cesm
+//	caroltrain -codec szx -model-dir ./models -datasets miranda:viscosity \
+//	    -dims 32x32x16 -bounds 12 -bo-iters 5 -forest-cap 40 -gc 4
+//
+// Training is deterministic for a fixed flag set (same fields, same seed
+// → bit-identical forest); only the trained_at metadata entry varies
+// between otherwise identical runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"carol/internal/calib"
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/core"
+	"carol/internal/dataset"
+	"carol/internal/field"
+	"carol/internal/model"
+	"carol/internal/registry"
+	"carol/internal/trainset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "caroltrain:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flag set.
+type options struct {
+	codec     string
+	modelDir  string
+	name      string
+	datasets  string
+	dims      string
+	bounds    int
+	boIters   int
+	forestCap int
+	kfolds    int
+	calibPts  int
+	workers   int
+	seed      uint64
+	gcKeep    int
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("caroltrain", flag.ContinueOnError)
+	fs.StringVar(&o.codec, "codec", "", "compressor to train for (szx|zfp|sz3|sperr|szp)")
+	fs.StringVar(&o.modelDir, "model-dir", "", "registry root directory to publish into")
+	fs.StringVar(&o.name, "name", "", "model name in the registry (default: codec name)")
+	fs.StringVar(&o.datasets, "datasets", "miranda",
+		"comma-separated training data: dataset or dataset:field (see carolgen -list)")
+	fs.StringVar(&o.dims, "dims", "", "override generated field dims NXxNYxNZ (tests and smoke runs)")
+	fs.IntVar(&o.bounds, "bounds", 35, "error bounds sampled per field during collection")
+	fs.IntVar(&o.boIters, "bo-iters", 10, "Bayesian-optimization iterations")
+	fs.IntVar(&o.forestCap, "forest-cap", 0, "cap NEstimators in the final forest (0 = none)")
+	fs.IntVar(&o.kfolds, "kfolds", 3, "cross-validation folds per BO evaluation")
+	fs.IntVar(&o.calibPts, "calib", -1,
+		"calibration points stored in the artifact: -1 auto (0 for high-throughput codecs, 4 otherwise), 0 none")
+	fs.IntVar(&o.workers, "workers", 0, "CPU parallelism for training (0 = all cores)")
+	fs.Uint64Var(&o.seed, "seed", 1, "master seed for every randomized component")
+	fs.IntVar(&o.gcKeep, "gc", 0, "after publishing, keep only the newest N versions (0 = keep all)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.codec == "" || o.modelDir == "" {
+		return o, fmt.Errorf("need -codec and -model-dir")
+	}
+	if o.name == "" {
+		o.name = o.codec
+	}
+	if o.bounds < 2 {
+		return o, fmt.Errorf("-bounds %d < 2", o.bounds)
+	}
+	return o, nil
+}
+
+// parseDims parses NXxNYxNZ with trailing dimensions defaulting to 1.
+func parseDims(s string) (nx, ny, nz int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	vals := []int{1, 1, 1}
+	if s == "" || len(parts) > 3 {
+		return 0, 0, 0, fmt.Errorf("bad dims %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("bad dims %q", s)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+// generateFields expands the -datasets spec into training fields.
+func generateFields(spec, dims string) ([]*field.Field, error) {
+	var opts dataset.Options
+	if dims != "" {
+		nx, ny, nz, err := parseDims(dims)
+		if err != nil {
+			return nil, err
+		}
+		opts.Nx, opts.Ny, opts.Nz = nx, ny, nz
+	}
+	var fields []*field.Field
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if ds, fname, ok := strings.Cut(entry, ":"); ok {
+			f, err := dataset.Generate(ds, fname, opts)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+		} else {
+			fs, err := dataset.GenerateAll(entry, opts)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, fs...)
+		}
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("no training fields from -datasets %q", spec)
+	}
+	return fields, nil
+}
+
+// fitCalibration fits the artifact's calibration state on a representative
+// field, mirroring core's per-codec default (high-throughput codecs skip
+// calibration; the high-ratio group uses 4 points).
+func fitCalibration(codecName string, points int, f *field.Field) (*model.CalibState, error) {
+	if points == -1 {
+		if codecs.HighThroughput(codecName) {
+			points = 0
+		} else {
+			points = 4
+		}
+	}
+	if points < 2 {
+		return nil, nil
+	}
+	codec, err := codecs.ByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	sur, err := codecs.SurrogateByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	lo := compressor.AbsBound(f, 1e-4)
+	hi := compressor.AbsBound(f, 1e-1)
+	m, err := calib.Fit(codec, sur, f, calib.PickCalibrationBounds(lo, hi, points))
+	if err != nil {
+		return nil, fmt.Errorf("calibration fit on %s: %w", f.Name, err)
+	}
+	return model.FromCalib(m), nil
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	if err := registry.CheckName(o.name); err != nil {
+		return err
+	}
+	fields, err := generateFields(o.datasets, o.dims)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		ErrorBounds:  trainset.GeometricBounds(1e-4, 1e-1, o.bounds),
+		BOIterations: o.boIters,
+		ForestCap:    o.forestCap,
+		KFolds:       o.kfolds,
+		Workers:      o.workers,
+		Seed:         o.seed,
+	}
+	fw, err := core.New(o.codec, cfg)
+	if err != nil {
+		return err
+	}
+	cs, err := fw.Collect(fields)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "caroltrain: collected %d samples from %d fields in %v (surrogate=%d full=%d)\n",
+		cs.Samples, cs.Fields, cs.Duration.Round(time.Millisecond), cs.SurrogateRuns, cs.FullCompressorRuns)
+	ts, err := fw.Train()
+	if err != nil {
+		return err
+	}
+	forest, err := fw.Forest()
+	if err != nil {
+		return err
+	}
+	best := forest.Config()
+	fmt.Fprintf(out, "caroltrain: BO evaluated %d configs in %v, best CV MSE %.6g (trees=%d depth=%d features=%s)\n",
+		ts.Evaluated, ts.Duration.Round(time.Millisecond), ts.BestScore,
+		best.NEstimators, best.MaxDepth, best.MaxFeatures)
+	stats := forest.Stats()
+	fmt.Fprintf(out, "caroltrain: forest: %d trees, %d nodes, max depth %d\n",
+		stats.Trees, stats.Nodes, stats.MaxDepth)
+
+	calState, err := fitCalibration(o.codec, o.calibPts, fields[0])
+	if err != nil {
+		return err
+	}
+	art := &model.Artifact{
+		Codec:  o.codec,
+		Schema: model.CanonicalSchema(),
+		Calib:  calState,
+		Forest: forest,
+		Meta: map[string]string{
+			"trained_at":    time.Now().UTC().Format(time.RFC3339),
+			"datasets":      o.datasets,
+			"fields":        strconv.Itoa(cs.Fields),
+			"samples":       strconv.Itoa(cs.Samples),
+			"bo_iterations": strconv.Itoa(ts.Evaluated),
+			"best_cv_mse":   strconv.FormatFloat(ts.BestScore, 'g', -1, 64),
+			"seed":          strconv.FormatUint(o.seed, 10),
+		},
+	}
+	buf, err := art.Encode()
+	if err != nil {
+		return err
+	}
+	reg, err := registry.Open(o.modelDir)
+	if err != nil {
+		return err
+	}
+	v, err := reg.Publish(o.name, buf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "caroltrain: published %s v%d (%d bytes, sha256 %s…) to %s\n",
+		v.Name, v.Number, v.Size, v.SHA256[:12], o.modelDir)
+	if o.gcKeep > 0 {
+		removed, err := reg.GC(o.name, o.gcKeep)
+		if err != nil {
+			return err
+		}
+		if len(removed) > 0 {
+			fmt.Fprintf(out, "caroltrain: gc removed versions %v (keep %d)\n", removed, o.gcKeep)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"carol/internal/core"
+	"carol/internal/dataset"
+	"carol/internal/features"
+	"carol/internal/field"
+	"carol/internal/registry"
+	"carol/internal/safedec"
+	"carol/internal/trainset"
+)
+
+// tinyArgs returns a flag set that trains in well under a second.
+func tinyArgs(dir string, extra ...string) []string {
+	args := []string{
+		"-codec", "szx",
+		"-model-dir", dir,
+		"-datasets", "miranda:velocityx",
+		"-dims", "16x16x8",
+		"-bounds", "6",
+		"-bo-iters", "2",
+		"-forest-cap", "8",
+		"-kfolds", "2",
+		"-workers", "1",
+		"-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+func TestRunPublishesLoadableVersions(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(tinyArgs(dir), &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"collected", "forest:", "published szx v1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Second run publishes version 2 alongside version 1.
+	if err := run(tinyArgs(dir), &out); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := reg.Versions("szx")
+	if err != nil || len(versions) != 2 {
+		t.Fatalf("Versions = %v, %v", versions, err)
+	}
+	latest, err := reg.Latest("szx")
+	if err != nil || latest.Number != 2 {
+		t.Fatalf("Latest = %+v, %v", latest, err)
+	}
+	art, err := reg.Load(latest, safedec.Default())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := art.ServingCheck(); err != nil {
+		t.Fatalf("published artifact not servable: %v", err)
+	}
+	if art.Meta["seed"] != "7" || art.Meta["datasets"] != "miranda:velocityx" {
+		t.Fatalf("meta = %v", art.Meta)
+	}
+}
+
+// TestRunMatchesInProcessTraining asserts the published artifact predicts
+// bit-identically to an identically configured in-process framework — the
+// acceptance criterion that serving from the registry changes nothing.
+func TestRunMatchesInProcessTraining(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(tinyArgs(dir), &bytes.Buffer{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := reg.Latest("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := reg.Load(latest, safedec.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := dataset.Generate("miranda", "velocityx", dataset.Options{Nx: 16, Ny: 16, Nz: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		ErrorBounds:  trainset.GeometricBounds(1e-4, 1e-1, 6),
+		BOIterations: 2,
+		ForestCap:    8,
+		KFolds:       2,
+		Workers:      1,
+		Seed:         7,
+	}
+	fw, err := core.New("szx", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Collect([]*field.Field{f}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	probe, err := dataset.Generate("miranda", "density", dataset.Options{Nx: 16, Ny: 16, Nz: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := features.ParallelOptions{Workers: 1}
+	for _, ratio := range []float64{2, 8, 32, 128} {
+		want, err := fw.PredictErrorBound(probe, ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := art.PredictErrorBound(probe, ratio, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("ratio %g: artifact predicts %x, framework predicts %x",
+				ratio, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestParseFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},                       // missing everything
+		{"-codec", "szx"},        // missing -model-dir
+		{"-model-dir", "/tmp/x"}, // missing -codec
+		{"-codec", "szx", "-model-dir", "/tmp/x", "-bounds", "1"}, // bounds too small
+	}
+	for _, c := range cases {
+		if _, err := parseFlags(c); err == nil {
+			t.Fatalf("parseFlags(%v) accepted", c)
+		}
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	nx, ny, nz, err := parseDims("16x8x4")
+	if err != nil || nx != 16 || ny != 8 || nz != 4 {
+		t.Fatalf("parseDims = %d %d %d %v", nx, ny, nz, err)
+	}
+	nx, ny, nz, err = parseDims("32")
+	if err != nil || nx != 32 || ny != 1 || nz != 1 {
+		t.Fatalf("parseDims(32) = %d %d %d %v", nx, ny, nz, err)
+	}
+	for _, bad := range []string{"", "0x2", "axb", "1x2x3x4", "-1"} {
+		if _, _, _, err := parseDims(bad); err == nil {
+			t.Fatalf("parseDims(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(tinyArgs(dir, "-datasets", "nosuch"), &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run(tinyArgs(dir, "-name", "Bad Name"), &out); err == nil {
+		t.Fatal("invalid registry name accepted")
+	}
+	if err := run(tinyArgs(dir, "-codec", "nosuchcodec"), &out); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+func TestRunGC(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := run(tinyArgs(dir), &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Reset()
+	if err := run(tinyArgs(dir, "-gc", "2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gc removed versions [1 2]") {
+		t.Fatalf("gc output:\n%s", out.String())
+	}
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := reg.Versions("szx")
+	if err != nil || len(versions) != 2 || versions[0].Number != 3 {
+		t.Fatalf("Versions after gc = %v, %v", versions, err)
+	}
+}

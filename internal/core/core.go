@@ -335,6 +335,17 @@ func (fw *Framework) train(iterations int) (TrainStats, error) {
 // Trained reports whether a model is available.
 func (fw *Framework) Trained() bool { return fw.model != nil }
 
+// Forest returns the trained random forest for export into a model
+// artifact (internal/model). Only the default "rf" model is exportable —
+// the artifact format serializes forests, not the alternative regressors.
+func (fw *Framework) Forest() (*rf.Forest, error) {
+	forest, ok := fw.model.(*rf.Forest)
+	if !ok || forest == nil {
+		return nil, errors.New("core: no trained rf model to export")
+	}
+	return forest, nil
+}
+
 // FeatureImportance returns the trained random forest's normalized
 // per-input importances (the five features plus the log target ratio).
 // Only available for the default "rf" model.

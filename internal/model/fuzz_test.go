@@ -1,0 +1,69 @@
+package model
+
+import (
+	"testing"
+
+	"carol/internal/fuzzseed"
+	"carol/internal/safedec"
+)
+
+// fuzzLimits keeps per-exec memory small so the mutator's budget goes to
+// coverage, not to zeroing node arrays a hostile header claimed.
+var fuzzLimits = safedec.Limits{MaxElements: 1 << 18, MaxAlloc: 1 << 24, MaxCount: 1 << 10}
+
+// modelFuzzSeeds returns a valid artifact plus the classic mutations:
+// truncations, a mid-stream bit flip, and a bare header.
+func modelFuzzSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	valid := mustEncode(t, testArtifact(t))
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/3] ^= 0xFF
+	minimal := testArtifact(t)
+	minimal.Calib = nil
+	minimal.Meta = nil
+	return [][]byte{
+		valid,
+		mustEncode(t, minimal),
+		valid[:len(valid)/2],
+		valid[:16],
+		flip,
+		[]byte(Magic),
+	}
+}
+
+// FuzzModelRead asserts the artifact reader's hostility contract:
+// arbitrary bytes in, classified error or valid artifact out, never a
+// panic, allocations bounded by fuzzLimits. When a stream does parse, it
+// must re-encode deterministically (a parse-accepting mutation that broke
+// determinism would corrupt the registry's checksums downstream).
+func FuzzModelRead(f *testing.F) {
+	for _, s := range modelFuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadLimited(data, fuzzLimits)
+		if err != nil {
+			if safedec.Classify(err) == "" {
+				t.Fatalf("unclassified error: %v", err)
+			}
+			return
+		}
+		one, err := a.Encode()
+		if err != nil {
+			t.Fatalf("accepted artifact does not re-encode: %v", err)
+		}
+		two, err := a.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if string(one) != string(two) {
+			t.Fatal("re-encode of accepted artifact is not deterministic")
+		}
+	})
+}
+
+// TestFuzzCorpusCheckedIn regenerates the seed corpus under
+// CAROL_WRITE_CORPUS, and otherwise fails if it has gone missing.
+func TestFuzzCorpusCheckedIn(t *testing.T) {
+	fuzzseed.Check(t, ".", map[string][][]byte{"FuzzModelRead": modelFuzzSeeds(t)})
+}

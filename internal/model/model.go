@@ -1,0 +1,549 @@
+// Package model defines CAROL's trained-model artifact: a deterministic,
+// versioned, self-describing binary serialization of everything a serving
+// process needs to answer ratio→error-bound queries without retraining —
+// the codec the model was trained for, the feature schema, optional
+// surrogate-calibration state, the flattened random forest, and free-form
+// training metadata, all integrity-checked with a trailing CRC.
+//
+// The format is the bridge between the train-offline and serve-online
+// halves of the repository: cmd/caroltrain writes artifacts into an
+// internal/registry directory, and carolserve warm-loads them at boot and
+// on SIGHUP (DESIGN.md §12).
+//
+// Contracts:
+//
+//   - Determinism: Encode of the same Artifact value is byte-identical
+//     across runs and hosts (metadata is written in sorted key order, all
+//     floats as IEEE-754 bit patterns, no timestamps or randomness).
+//   - Round trip: Read(Encode(a)) yields a forest that predicts
+//     bit-identically to a.Forest, and re-encoding it reproduces the same
+//     bytes.
+//   - Hostility: Read/ReadLimited never panic and never allocate
+//     unbounded memory from claimed sizes; every failure is classified
+//     under the safedec taxonomy (ErrTruncated / ErrCorrupt / ErrLimit).
+//
+// Note the Workers knob of the embedded forest config is deliberately not
+// serialized: it is a machine-local parallelism setting, not part of the
+// model (a decoded forest starts at Workers=0, "use every core").
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"carol/internal/calib"
+	"carol/internal/features"
+	"carol/internal/rf"
+	"carol/internal/safedec"
+)
+
+// Magic identifies a CAROL model artifact; the trailing 1 is the major
+// format generation (bump on incompatible layout changes, alongside
+// FormatVersion).
+const Magic = "CAROLMF1"
+
+// FormatVersion is the current artifact format version.
+const FormatVersion = 1
+
+// Format hard caps, independent of caller Limits: violating these is
+// structural corruption (ErrCorrupt), not a resource-policy rejection.
+const (
+	maxStringLen  = 1 << 12 // codec names, schema entries, meta keys/values
+	maxSchema     = 256     // feature-schema entries
+	maxCalib      = 1 << 12 // calibration points
+	maxMetaPairs  = 1 << 10 // metadata key/value pairs
+	maxTotalNodes = 1<<31 - 1
+)
+
+// nodeEncSize is the fixed per-node payload: i32 feature + u32 left +
+// u32 right + f64 thresh + f64 value + f64 gain.
+const nodeEncSize = 4 + 4 + 4 + 8 + 8 + 8
+
+// CalibState is the serializable form of a fitted calib.Model.
+type CalibState struct {
+	EBs  []float64 // calibration error bounds, strictly ascending
+	Rho  []float64 // signed relative estimation error at each bound
+	Over bool      // surrogate overestimated at the majority of points
+}
+
+// FromCalib exports a fitted calibration model into its artifact form.
+func FromCalib(m *calib.Model) *CalibState {
+	ebs, rho, over := m.Export()
+	return &CalibState{EBs: ebs, Rho: rho, Over: over}
+}
+
+// Model rebuilds the calib.Model (validating the state).
+func (c *CalibState) Model() (*calib.Model, error) {
+	return calib.Restore(c.EBs, c.Rho, c.Over)
+}
+
+// Artifact is one trained, publishable CAROL model.
+type Artifact struct {
+	// Codec names the compressor the model was trained for ("szx", ...).
+	Codec string
+	// Schema names the model inputs in order; serving refuses artifacts
+	// whose schema does not match CanonicalSchema().
+	Schema []string
+	// Calib optionally carries the surrogate-calibration state fitted
+	// during data collection (high-ratio codecs); nil when uncalibrated.
+	Calib *CalibState
+	// Forest is the trained regressor.
+	Forest *rf.Forest
+	// Meta carries free-form training provenance (sample counts, BO
+	// scores, timestamps). Keys and values are bounded strings; Meta is
+	// written in sorted key order so encoding stays deterministic.
+	Meta map[string]string
+}
+
+// CanonicalSchema returns the input schema every model trained by this
+// repository uses: the five FXRZ features plus the log10 target ratio
+// (trainset.Row order).
+func CanonicalSchema() []string {
+	return append(features.Names(), "log10_ratio")
+}
+
+// schemaMatches reports whether two schemas are identical.
+func schemaMatches(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the artifact is internally consistent and encodable.
+func (a *Artifact) Validate() error {
+	if a.Codec == "" || len(a.Codec) > maxStringLen {
+		return fmt.Errorf("model: bad codec name %q", a.Codec)
+	}
+	if len(a.Schema) == 0 || len(a.Schema) > maxSchema {
+		return fmt.Errorf("model: schema has %d entries", len(a.Schema))
+	}
+	for i, s := range a.Schema {
+		if s == "" || len(s) > maxStringLen {
+			return fmt.Errorf("model: bad schema entry %d", i)
+		}
+	}
+	if a.Forest == nil {
+		return fmt.Errorf("model: nil forest")
+	}
+	stats := a.Forest.Stats()
+	if stats.Trees == 0 || stats.Nodes == 0 {
+		return fmt.Errorf("model: empty forest")
+	}
+	if dims := a.Forest.Dims(); dims != len(a.Schema) {
+		return fmt.Errorf("model: forest has %d input dims but schema has %d entries",
+			dims, len(a.Schema))
+	}
+	if a.Calib != nil {
+		if _, err := a.Calib.Model(); err != nil {
+			return fmt.Errorf("model: %w", err)
+		}
+	}
+	if len(a.Meta) > maxMetaPairs {
+		return fmt.Errorf("model: %d metadata pairs (max %d)", len(a.Meta), maxMetaPairs)
+	}
+	for k, v := range a.Meta {
+		if k == "" || len(k) > maxStringLen || len(v) > maxStringLen {
+			return fmt.Errorf("model: bad metadata pair %q", k)
+		}
+	}
+	return nil
+}
+
+// writer accumulates the encoding; all integers little-endian.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)     { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Encode serializes the artifact. The output is deterministic: encoding
+// the same artifact twice yields identical bytes.
+func (a *Artifact) Encode() ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	fl := a.Forest.Flatten()
+	w := &writer{buf: make([]byte, 0, 64+len(fl.Feature)*nodeEncSize)}
+	w.buf = append(w.buf, Magic...)
+	w.u32(FormatVersion)
+	w.str(a.Codec)
+	w.uvarint(uint64(len(a.Schema)))
+	for _, s := range a.Schema {
+		w.str(s)
+	}
+	if a.Calib == nil {
+		w.uvarint(0)
+	} else {
+		w.uvarint(uint64(len(a.Calib.EBs)))
+		if a.Calib.Over {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		for i := range a.Calib.EBs {
+			w.f64(a.Calib.EBs[i])
+			w.f64(a.Calib.Rho[i])
+		}
+	}
+	// Forest: hyper-parameters (minus the machine-local Workers knob),
+	// dims, per-tree node counts, then struct-of-arrays node payload.
+	cfg := fl.Cfg
+	w.u32(uint32(cfg.NEstimators))
+	w.u8(byte(cfg.MaxFeatures))
+	w.u32(uint32(cfg.MaxDepth))
+	w.u32(uint32(cfg.MinSamplesSplit))
+	w.u32(uint32(cfg.MinSamplesLeaf))
+	if cfg.Bootstrap {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u64(cfg.Seed)
+	w.u32(uint32(fl.Dims))
+	w.uvarint(uint64(len(fl.Feature)))
+	for _, n := range fl.TreeNodes {
+		w.uvarint(uint64(n))
+	}
+	for _, v := range fl.Feature {
+		w.u32(uint32(v))
+	}
+	for _, v := range fl.Left {
+		w.u32(uint32(v))
+	}
+	for _, v := range fl.Right {
+		w.u32(uint32(v))
+	}
+	for _, v := range fl.Thresh {
+		w.f64(v)
+	}
+	for _, v := range fl.Value {
+		w.f64(v)
+	}
+	for _, v := range fl.Gain {
+		w.f64(v)
+	}
+	// Metadata in sorted key order: map iteration order must not leak
+	// into the bytes (the determinism contract carollint enforces).
+	keys := make([]string, 0, len(a.Meta))
+	for k := range a.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(a.Meta[k])
+	}
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf, nil
+}
+
+// Write encodes the artifact and writes it to w.
+func (a *Artifact) Write(w io.Writer) error {
+	buf, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Read parses an artifact with the permissive default limits.
+func Read(data []byte) (*Artifact, error) {
+	return ReadLimited(data, safedec.Limits{})
+}
+
+// ReadFile reads and parses one artifact file under the given limits.
+func ReadFile(path string, lim safedec.Limits) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ReadLimited(data, lim)
+}
+
+// corrupt wraps a structural-validity failure.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: model: %s", safedec.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// readString reads a uvarint-prefixed string with the format's hard cap
+// and a truncation check before the copy.
+func readString(r *safedec.Reader, what string) (string, error) {
+	n, err := r.Uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", corrupt("%s length %d exceeds %d", what, n, maxStringLen)
+	}
+	b, err := r.Take(what, int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// ReadLimited parses an artifact, bounding every size the stream claims
+// with lim (safedec validate-before-allocate discipline) and verifying
+// the trailing CRC. Errors are classified: ErrTruncated when the input
+// ends early, ErrCorrupt for structural violations (bad magic, version,
+// checksum, malformed forest), ErrLimit when parsing would exceed lim.
+func ReadLimited(data []byte, lim safedec.Limits) (*Artifact, error) {
+	r := safedec.NewReader(data)
+	magic, err := r.Take("magic", len(Magic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != Magic {
+		return nil, corrupt("bad magic %q", magic)
+	}
+	version, err := r.U32("format version")
+	if err != nil {
+		return nil, err
+	}
+	if version != FormatVersion {
+		return nil, corrupt("unsupported format version %d (have %d)", version, FormatVersion)
+	}
+	a := &Artifact{}
+	if a.Codec, err = readString(r, "codec name"); err != nil {
+		return nil, err
+	}
+	if a.Codec == "" {
+		return nil, corrupt("empty codec name")
+	}
+	nSchema, err := r.Uvarint("schema count")
+	if err != nil {
+		return nil, err
+	}
+	if nSchema == 0 || nSchema > maxSchema {
+		return nil, corrupt("schema count %d outside [1, %d]", nSchema, maxSchema)
+	}
+	a.Schema = make([]string, nSchema)
+	for i := range a.Schema {
+		if a.Schema[i], err = readString(r, "schema entry"); err != nil {
+			return nil, err
+		}
+		if a.Schema[i] == "" {
+			return nil, corrupt("empty schema entry %d", i)
+		}
+	}
+	nCalib, err := r.Uvarint("calibration count")
+	if err != nil {
+		return nil, err
+	}
+	if nCalib > 0 {
+		if nCalib > maxCalib {
+			return nil, corrupt("calibration count %d exceeds %d", nCalib, maxCalib)
+		}
+		if err := lim.Count("calibration point", int64(nCalib)); err != nil {
+			return nil, err
+		}
+		over, err := r.U8("calibration flag")
+		if err != nil {
+			return nil, err
+		}
+		if over > 1 {
+			return nil, corrupt("calibration flag %d", over)
+		}
+		// 16 bytes per point; reject truncation before allocating.
+		if int64(r.Remaining()) < int64(nCalib)*16 {
+			return nil, fmt.Errorf("%w: model: calibration table needs %d bytes, have %d",
+				safedec.ErrTruncated, nCalib*16, r.Remaining())
+		}
+		cs := &CalibState{
+			EBs:  make([]float64, nCalib),
+			Rho:  make([]float64, nCalib),
+			Over: over == 1,
+		}
+		for i := range cs.EBs {
+			eb, _ := r.U64("calibration eb")
+			rho, _ := r.U64("calibration rho")
+			cs.EBs[i] = math.Float64frombits(eb)
+			cs.Rho[i] = math.Float64frombits(rho)
+		}
+		if _, err := cs.Model(); err != nil {
+			return nil, corrupt("%v", err)
+		}
+		a.Calib = cs
+	}
+	fl, err := readForest(r, lim)
+	if err != nil {
+		return nil, err
+	}
+	if fl.Dims != len(a.Schema) {
+		return nil, corrupt("forest dims %d != schema entries %d", fl.Dims, len(a.Schema))
+	}
+	forest, err := rf.FromFlat(fl)
+	if err != nil {
+		return nil, corrupt("%v", err)
+	}
+	a.Forest = forest
+	nMeta, err := r.Uvarint("metadata count")
+	if err != nil {
+		return nil, err
+	}
+	if nMeta > maxMetaPairs {
+		return nil, corrupt("metadata count %d exceeds %d", nMeta, maxMetaPairs)
+	}
+	if nMeta > 0 {
+		a.Meta = make(map[string]string, nMeta)
+		for i := uint64(0); i < nMeta; i++ {
+			k, err := readString(r, "metadata key")
+			if err != nil {
+				return nil, err
+			}
+			if k == "" {
+				return nil, corrupt("empty metadata key")
+			}
+			if _, dup := a.Meta[k]; dup {
+				return nil, corrupt("duplicate metadata key %q", k)
+			}
+			v, err := readString(r, "metadata value")
+			if err != nil {
+				return nil, err
+			}
+			a.Meta[k] = v
+		}
+	}
+	sum, err := r.U32("checksum")
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, corrupt("%d trailing bytes after checksum", r.Remaining())
+	}
+	if want := crc32.ChecksumIEEE(data[:len(data)-4]); sum != want {
+		return nil, corrupt("checksum mismatch: stream says %08x, payload hashes to %08x", sum, want)
+	}
+	return a, nil
+}
+
+// readForest parses the forest section into a Flat for rf.FromFlat.
+func readForest(r *safedec.Reader, lim safedec.Limits) (*rf.Flat, error) {
+	var cfg rf.Config
+	nEst, err := r.U32("tree count")
+	if err != nil {
+		return nil, err
+	}
+	if err := lim.Count("forest tree", int64(nEst)); err != nil {
+		return nil, err
+	}
+	cfg.NEstimators = int(nEst)
+	mf, err := r.U8("max-features mode")
+	if err != nil {
+		return nil, err
+	}
+	if mf > uint8(rf.MaxFeaturesSqrt) {
+		return nil, corrupt("max-features mode %d", mf)
+	}
+	cfg.MaxFeatures = rf.MaxFeatures(mf)
+	depth, err := r.U32("max depth")
+	if err != nil {
+		return nil, err
+	}
+	cfg.MaxDepth = int(depth)
+	mss, err := r.U32("min samples split")
+	if err != nil {
+		return nil, err
+	}
+	cfg.MinSamplesSplit = int(mss)
+	msl, err := r.U32("min samples leaf")
+	if err != nil {
+		return nil, err
+	}
+	cfg.MinSamplesLeaf = int(msl)
+	boot, err := r.U8("bootstrap flag")
+	if err != nil {
+		return nil, err
+	}
+	if boot > 1 {
+		return nil, corrupt("bootstrap flag %d", boot)
+	}
+	cfg.Bootstrap = boot == 1
+	if cfg.Seed, err = r.U64("seed"); err != nil {
+		return nil, err
+	}
+	dims, err := r.U32("input dims")
+	if err != nil {
+		return nil, err
+	}
+	total, err := r.Uvarint("node count")
+	if err != nil {
+		return nil, err
+	}
+	if total > maxTotalNodes {
+		return nil, corrupt("node count %d exceeds %d", total, maxTotalNodes)
+	}
+	// The whole node payload is claimed-length allocation: check it
+	// against the caller's budget, then against the actual bytes present,
+	// before any array is made.
+	if err := lim.Alloc("forest nodes", int64(total)*nodeEncSize); err != nil {
+		return nil, err
+	}
+	fl := &rf.Flat{Dims: int(dims), Cfg: cfg, TreeNodes: make([]int32, 0, min(int(nEst), 1<<16))}
+	var sum uint64
+	for i := uint32(0); i < nEst; i++ {
+		n, err := r.Uvarint("tree node count")
+		if err != nil {
+			return nil, err
+		}
+		sum += n
+		if sum > total {
+			return nil, corrupt("tree node counts sum past claimed total %d", total)
+		}
+		fl.TreeNodes = append(fl.TreeNodes, int32(n))
+	}
+	if sum != total {
+		return nil, corrupt("tree node counts sum to %d, claimed total %d", sum, total)
+	}
+	if int64(r.Remaining()) < int64(total)*nodeEncSize {
+		return nil, fmt.Errorf("%w: model: node payload needs %d bytes, have %d",
+			safedec.ErrTruncated, int64(total)*nodeEncSize, r.Remaining())
+	}
+	n := int(total)
+	fl.Feature = make([]int32, n)
+	fl.Left = make([]int32, n)
+	fl.Right = make([]int32, n)
+	fl.Thresh = make([]float64, n)
+	fl.Value = make([]float64, n)
+	fl.Gain = make([]float64, n)
+	readI32s := func(dst []int32, what string) {
+		for i := range dst {
+			v, _ := r.U32(what) // length pre-checked above
+			dst[i] = int32(v)
+		}
+	}
+	readF64s := func(dst []float64, what string) {
+		for i := range dst {
+			v, _ := r.U64(what)
+			dst[i] = math.Float64frombits(v)
+		}
+	}
+	readI32s(fl.Feature, "node feature")
+	readI32s(fl.Left, "node left child")
+	readI32s(fl.Right, "node right child")
+	readF64s(fl.Thresh, "node threshold")
+	readF64s(fl.Value, "node value")
+	readF64s(fl.Gain, "node gain")
+	return fl, nil
+}

@@ -1,0 +1,68 @@
+package model
+
+import (
+	"fmt"
+
+	"carol/internal/features"
+	"carol/internal/field"
+	"carol/internal/trainset"
+)
+
+// ServingCheck verifies the artifact can answer predictions in this
+// process: its schema must be the canonical one the feature extractor
+// produces. A schema mismatch means the artifact was built by a different
+// (future or foreign) pipeline, and silently feeding it differently-
+// ordered inputs would produce confidently wrong bounds.
+func (a *Artifact) ServingCheck() error {
+	if !schemaMatches(a.Schema, CanonicalSchema()) {
+		return fmt.Errorf("model: artifact schema %v does not match serving schema %v",
+			a.Schema, CanonicalSchema())
+	}
+	if a.Forest.Dims() != trainset.InputDim {
+		return fmt.Errorf("model: forest expects %d inputs, serving builds %d",
+			a.Forest.Dims(), trainset.InputDim)
+	}
+	return nil
+}
+
+// PredictErrorBound predicts the value-range-relative error bound that
+// should achieve targetRatio on f — the one-shot answer that replaces a
+// per-request FRaZ-style iterative search. Feature extraction uses the
+// same parallel extractor the training pipeline used.
+func (a *Artifact) PredictErrorBound(f *field.Field, targetRatio float64, opts features.ParallelOptions) (float64, error) {
+	out, err := a.PredictErrorBounds(f, []float64{targetRatio}, opts)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// PredictErrorBounds is the batch form: one feature extraction, one
+// forest batch pass over every target ratio.
+func (a *Artifact) PredictErrorBounds(f *field.Field, targetRatios []float64, opts features.ParallelOptions) ([]float64, error) {
+	if err := a.ServingCheck(); err != nil {
+		return nil, err
+	}
+	if len(targetRatios) == 0 {
+		return nil, fmt.Errorf("model: no target ratios")
+	}
+	for _, r := range targetRatios {
+		if !(r > 0) {
+			return nil, fmt.Errorf("model: invalid target ratio %g", r)
+		}
+	}
+	feat := features.ExtractParallel(f, opts)
+	rows := make([][]float64, len(targetRatios))
+	for i, r := range targetRatios {
+		rows[i] = trainset.Row(feat, r)
+	}
+	preds, err := a.Forest.PredictBatch(rows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		out[i] = trainset.EBFromTarget(p)
+	}
+	return out, nil
+}

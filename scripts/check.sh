@@ -12,4 +12,4 @@ go run ./cmd/carollint ./...
 
 # Replay the checked-in fuzz seed corpora as plain tests (no mutation): every
 # seed under testdata/fuzz/ must decode-or-reject without panicking.
-go test -run '^Fuzz' ./internal/codecs ./internal/archive ./internal/chunked
+go test -run '^Fuzz' ./internal/codecs ./internal/archive ./internal/chunked ./internal/model

@@ -24,5 +24,6 @@ run ./internal/codecs FuzzDecompressSZP
 run ./internal/codecs FuzzCompressRoundTrip
 run ./internal/archive FuzzArchiveRead
 run ./internal/chunked FuzzChunkedDecompress
+run ./internal/model FuzzModelRead
 
 echo "fuzz sweep clean"

@@ -1,7 +1,9 @@
 #!/bin/sh
-# smoke.sh — build the CLIs, boot carolserve on a random loopback port, hit
-# the core endpoints and shut it down gracefully. Any non-200 answer or a
-# non-zero server exit fails the script. Pure sh + curl.
+# smoke.sh — build the CLIs, train and publish a model with caroltrain,
+# boot carolserve on a random loopback port with the model registry
+# mounted, hit the core endpoints (including /v1/predict and a SIGHUP
+# hot reload to a second model version) and shut down gracefully. Any
+# non-200 answer or a non-zero server exit fails the script. Pure sh + curl.
 set -eu
 
 bindir=$(mktemp -d)
@@ -14,15 +16,20 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== build"
-go build -o "$bindir" ./cmd/carolserve ./cmd/carolbench
+go build -o "$bindir" ./cmd/carolserve ./cmd/carolbench ./cmd/caroltrain
 
 echo "== carolbench -list"
 "$bindir/carolbench" -list
 
+echo "== caroltrain: publish model version 1"
+"$bindir/caroltrain" -codec szx -model-dir "$workdir/models" \
+    -datasets miranda:velocityx -dims 16x16x8 -bounds 6 -bo-iters 2 \
+    -forest-cap 8 -kfolds 2 -seed 7
+
 port=$((20000 + $$ % 20000))
 addr="127.0.0.1:$port"
-echo "== boot carolserve on $addr"
-"$bindir/carolserve" -addr "$addr" &
+echo "== boot carolserve on $addr with -model-dir"
+"$bindir/carolserve" -addr "$addr" -model-dir "$workdir/models" &
 server_pid=$!
 
 # Wait for the listener (up to ~5s).
@@ -52,9 +59,50 @@ curl -fsS -o "$workdir/stream.bin" -D "$workdir/headers.txt" \
     "http://$addr/v1/compress?codec=szx&rel=1e-3&dims=32x32x1"
 grep -i "X-Carol-Achieved-Ratio" "$workdir/headers.txt"
 
+echo "== GET /readyz"
+curl -fsS "http://$addr/readyz"
+
+echo "== GET /v1/models"
+curl -fsS "http://$addr/v1/models" >"$workdir/models.json"
+cat "$workdir/models.json"; echo
+grep -q '"version":1' "$workdir/models.json" || {
+    echo "smoke: /v1/models does not list version 1" >&2
+    exit 1
+}
+
+echo "== POST /v1/predict"
+curl -fsS --data-binary @"$workdir/field.raw" \
+    "http://$addr/v1/predict?ratio=10,100&dims=32x32x1" >"$workdir/predict1.json"
+cat "$workdir/predict1.json"; echo
+grep -q '"error_bounds"' "$workdir/predict1.json" || {
+    echo "smoke: /v1/predict returned no error bounds" >&2
+    exit 1
+}
+
+echo "== caroltrain: publish model version 2, then SIGHUP hot reload"
+"$bindir/caroltrain" -codec szx -model-dir "$workdir/models" \
+    -datasets miranda:velocityx -dims 16x16x8 -bounds 6 -bo-iters 2 \
+    -forest-cap 8 -kfolds 2 -seed 8
+kill -HUP "$server_pid"
+i=0
+until curl -fsS "http://$addr/v1/models" | grep -q '"version":2'; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: server never swapped to model version 2 after SIGHUP" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS --data-binary @"$workdir/field.raw" \
+    "http://$addr/v1/predict?ratio=10,100&dims=32x32x1" | grep -q '"version":2' || {
+    echo "smoke: /v1/predict still serving old version after reload" >&2
+    exit 1
+}
+
 echo "== GET /metrics"
 curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
-for metric in http_requests_total http_request_seconds_bucket codec_compress_seconds; do
+for metric in http_requests_total http_request_seconds_bucket codec_compress_seconds \
+    model_loaded_version model_load_total model_predict_seconds model_forest_trees; do
     grep -q "$metric" "$workdir/metrics.txt" || {
         echo "smoke: /metrics missing $metric" >&2
         exit 1
