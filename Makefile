@@ -1,4 +1,4 @@
-.PHONY: check build vet lint test race bench-rf bench-model
+.PHONY: check build vet lint test race bench-rf bench-model bench-codecs
 
 check: ## build + vet + race-enabled tests + carollint (the tier-1 gate)
 	./scripts/check.sh
@@ -29,3 +29,9 @@ bench-rf:
 # BENCH_MODEL.json (carolserve's warm-load and serving hot paths).
 bench-model:
 	go test -run '^$$' -bench 'BenchmarkArtifact' -benchmem ./internal/model/
+
+# Codec throughput through the block pipeline plus the huffman coder
+# steady-state hot path; numbers committed to BENCH_CODECS.json.
+bench-codecs:
+	go test -run '^$$' -bench 'BenchmarkCodec(Compress|Decompress)|SteadyState' \
+		-benchmem -benchtime 3x ./internal/pipeline/ ./internal/huffman/

@@ -46,6 +46,8 @@ func main() {
 func run() int {
 	exp := flag.String("experiment", "", "experiment id (default: all); see -list")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	workers := flag.Int("workers", 0,
+		"throughput experiment: sweep pipeline workers 1..N (0 = GOMAXPROCS); implies -experiment thr unless set")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -63,9 +65,13 @@ func run() int {
 		return 2
 	}
 	start := time.Now()
-	if *exp == "" {
+	switch {
+	case *workers != 0 && (*exp == "" || *exp == "thr"):
+		// An explicit -workers N runs the throughput sweep at that width.
+		err = experiments.RunThroughput(out, scale, *workers)
+	case *exp == "":
 		err = experiments.RunAll(out, scale)
-	} else {
+	default:
 		var r experiments.Runner
 		r, err = experiments.Find(*exp)
 		if err == nil {

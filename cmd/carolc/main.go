@@ -11,14 +11,21 @@
 //
 //	carolc -compressor sperr -dims 256x256x256 -ratio 100 -in data.f32 -out data.szc
 //
-// Decompress:
+// Compress via the streaming block pipeline (peak memory stops scaling
+// with field size; output is the CPL1 pipeline container):
+//
+//	carolc -stream -compressor sz3 -dims 256x256x256 -eb 1e-3 -in data.f32 -out data.cpl
+//
+// Decompress (CPL1 containers are auto-detected):
 //
 //	carolc -d -compressor sz3 -in data.sz3c -out restored.f32
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -42,6 +49,9 @@ func run() error {
 	in := flag.String("in", "", "input file (raw little-endian float32, or compressed stream with -d/-verify)")
 	out := flag.String("out", "", "output file")
 	decompress := flag.Bool("d", false, "decompress instead of compress")
+	stream := flag.Bool("stream", false,
+		"compress via the block pipeline: CPL1 container, bounded peak memory (-eb mode only)")
+	workers := flag.Int("workers", 0, "pipeline worker count for -stream/-d (0 = GOMAXPROCS)")
 	verify := flag.String("verify", "", "original raw file: decompress -in and print a quality report against it")
 	flag.Parse()
 
@@ -52,7 +62,7 @@ func run() error {
 		return fmt.Errorf("need -in and -out")
 	}
 	if *decompress {
-		return doDecompress(*comp, *in, *out)
+		return doDecompress(*comp, *in, *out, *workers)
 	}
 	nx, ny, nz, err := parseDims(*dims)
 	if err != nil {
@@ -68,23 +78,58 @@ func run() error {
 		return err
 	}
 
-	var stream []byte
+	if *stream {
+		if !(*eb > 0) {
+			return fmt.Errorf("-stream needs -eb")
+		}
+		return doCompressStream(*comp, f, *eb, *out, *workers)
+	}
+	var blob []byte
 	switch {
 	case *ratio > 0:
-		stream, err = compressToRatio(*comp, f, *ratio)
+		blob, err = compressToRatio(*comp, f, *ratio)
 	case *eb > 0:
-		stream, err = carol.Compress(*comp, f, *eb)
+		blob, err = carol.Compress(*comp, f, *eb)
 	default:
 		return fmt.Errorf("need -eb or -ratio")
 	}
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, stream, 0o644); err != nil {
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d -> %d bytes (ratio %.2f)\n",
-		*comp, f.SizeBytes(), len(stream), carol.Ratio(f, stream))
+		*comp, f.SizeBytes(), len(blob), carol.Ratio(f, blob))
+	return nil
+}
+
+// doCompressStream writes the CPL1 pipeline container straight to the
+// output file: compressed blocks leave memory as soon as they are emitted.
+func doCompressStream(comp string, f *carol.Field, eb float64, out string, workers int) error {
+	outF, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(outF)
+	if err := carol.CompressStream(comp, bw, f, eb, carol.StreamOptions{Workers: workers}); err != nil {
+		_ = outF.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = outF.Close()
+		return err
+	}
+	// Close before reporting success: Close surfaces the final flush failure.
+	if err := outF.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (stream): %d -> %d bytes (ratio %.2f)\n",
+		comp, f.SizeBytes(), st.Size(), float64(f.SizeBytes())/float64(st.Size()))
 	return nil
 }
 
@@ -113,12 +158,13 @@ func compressToRatio(comp string, f *carol.Field, target float64) ([]byte, error
 	return stream, nil
 }
 
-func doDecompress(comp, in, out string) error {
-	stream, err := os.ReadFile(in)
+func doDecompress(comp, in, out string, workers int) error {
+	inF, err := os.Open(in)
 	if err != nil {
 		return err
 	}
-	f, err := carol.Decompress(comp, stream)
+	defer inF.Close()
+	f, err := decodeAny(comp, inF, workers)
 	if err != nil {
 		return err
 	}
@@ -139,6 +185,21 @@ func doDecompress(comp, in, out string) error {
 	return nil
 }
 
+// decodeAny decodes either a CPL1 pipeline container (detected by magic,
+// decoded block-streaming without buffering the input in full) or a plain
+// codec stream.
+func decodeAny(comp string, r io.Reader, workers int) (*carol.Field, error) {
+	br := bufio.NewReader(r)
+	if peek, err := br.Peek(4); err == nil && string(peek) == "CPL1" {
+		return carol.DecompressStream(comp, br, carol.StreamOptions{Workers: workers})
+	}
+	stream, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	return carol.Decompress(comp, stream)
+}
+
 // doVerify decompresses `in` and reports reconstruction quality against the
 // original raw file.
 func doVerify(comp, in, origPath, dims string) error {
@@ -149,11 +210,12 @@ func doVerify(comp, in, origPath, dims string) error {
 	if err != nil {
 		return err
 	}
-	stream, err := os.ReadFile(in)
+	inF, err := os.Open(in)
 	if err != nil {
 		return err
 	}
-	recon, err := carol.Decompress(comp, stream)
+	defer inF.Close()
+	recon, err := decodeAny(comp, inF, 0)
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,9 @@ func run() error {
 	var fields fieldSpecs
 	flag.Var(&fields, "field", "field spec name:codec:relEB:NXxNYxNZ:path (repeatable)")
 	pack := flag.Bool("pack", false, "create an archive from -field specs")
+	stream := flag.Bool("stream", false,
+		"pack entries via the block pipeline (CPL1 containers; block-parallel pack and extract)")
+	workers := flag.Int("workers", 0, "pipeline worker count with -stream (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list archive contents")
 	extract := flag.String("extract", "", "extract one field by name")
 	in := flag.String("in", "", "input archive")
@@ -53,7 +56,7 @@ func run() error {
 
 	switch {
 	case *pack:
-		return doPack(fields, *out)
+		return doPack(fields, *out, *stream, *workers)
 	case *list:
 		return doList(*in)
 	case *extract != "":
@@ -89,7 +92,7 @@ func parseFieldSpec(spec string) (name, codec string, relEB float64, nx, ny, nz 
 	return name, codec, relEB, vals[0], vals[1], vals[2], path, nil
 }
 
-func doPack(fields fieldSpecs, out string) error {
+func doPack(fields fieldSpecs, out string, stream bool, workers int) error {
 	if len(fields) == 0 || out == "" {
 		return fmt.Errorf("-pack needs -field specs and -out")
 	}
@@ -109,7 +112,12 @@ func doPack(fields fieldSpecs, out string) error {
 			return err
 		}
 		eb := compressor.AbsBound(f, relEB)
-		if err := w.Add(name, codecName, f, eb); err != nil {
+		if stream {
+			err = w.AddPipeline(name, codecName, f, eb, workers)
+		} else {
+			err = w.Add(name, codecName, f, eb)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Printf("packed %s (%s, rel eb %g)\n", name, codecName, relEB)

@@ -8,8 +8,12 @@
 // Endpoints (raw little-endian float32 bodies):
 //
 //	POST /v1/compress?codec=sz3&rel=1e-3&dims=128x128x64   -> stream
+//	POST /v1/compress?codec=sz3&rel=1e-3&stream=1&dims=... -> pipeline container (CPL1),
+//	     block-parallel, body streamed as blocks complete; optional workers=N;
+//	     X-Carol-Achieved-Ratio arrives as an HTTP trailer
 //	POST /v1/compress?codec=sz3&ratio=100&dims=128x128x64  -> stream (FRaZ search)
 //	POST /v1/decompress?codec=sz3                          -> raw float32
+//	     (CPL1 pipeline containers are auto-detected and decoded block-streaming)
 //	POST /v1/estimate?codec=sperr&rel=1e-3&dims=...        -> JSON ratio estimate
 //	POST /v1/predict?model=sz3&ratio=50,100&dims=...       -> JSON error-bound predictions
 //	GET  /v1/models                                        -> JSON loaded-model listing
@@ -31,6 +35,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -51,6 +56,8 @@ import (
 	"carol/internal/compressor"
 	"carol/internal/field"
 	"carol/internal/fraz"
+	"carol/internal/obs"
+	"carol/internal/pipeline"
 	"carol/internal/safedec"
 	"carol/internal/secre"
 )
@@ -247,6 +254,10 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		eb := compressor.AbsBound(f, rel)
+		if q.Get("stream") != "" {
+			s.compressStreaming(w, r, tr, codec, f, eb)
+			return
+		}
 		span = tr.StartSpan("codec")
 		stream, err = codec.Compress(f, eb)
 		span.End()
@@ -281,6 +292,58 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// countingWriter counts bytes forwarded to the response so the streaming
+// path can tell "failed before the first byte" (still able to send a
+// status code) from "failed mid-body" (log only), and can compute the
+// achieved ratio for the trailer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// compressStreaming serves /v1/compress?stream=1: the pipeline container is
+// written to the response as blocks complete, so peak memory holds the
+// input field plus a bounded window of compressed blocks — never the whole
+// stream. The achieved ratio is only known once the body has been sent, so
+// it travels as an HTTP trailer instead of a header.
+func (s *server) compressStreaming(w http.ResponseWriter, r *http.Request, tr *obs.Trace, codec compressor.Codec, f *field.Field, eb float64) {
+	workers := 0
+	if ws := r.URL.Query().Get("workers"); ws != "" {
+		v, err := strconv.Atoi(ws)
+		if err != nil || v < 1 || v > 1024 {
+			httpError(w, http.StatusBadRequest, "bad workers")
+			return
+		}
+		workers = v
+	}
+	p := pipeline.New(codec, pipeline.Options{Workers: workers})
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Trailer", "X-Carol-Achieved-Ratio, X-Carol-Trace")
+	cw := &countingWriter{w: w}
+	span := tr.StartSpan("codec")
+	err := p.CompressStream(cw, f, eb)
+	span.End()
+	if err != nil {
+		if cw.n == 0 {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		// Mid-body failure: the status line is gone; the truncated body is
+		// the client's signal (CPL1 frames are length-prefixed).
+		log.Printf("carolserve: streaming compress: %v", err)
+		return
+	}
+	w.Header().Set("X-Carol-Achieved-Ratio",
+		strconv.FormatFloat(float64(f.SizeBytes())/float64(cw.n), 'g', 6, 64))
+	w.Header().Set("X-Carol-Trace", tr.String())
+}
+
 func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -297,16 +360,30 @@ func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		fieldError(w, fmt.Errorf("%w: content length %d exceeds %d bytes", errTooLarge, r.ContentLength, maxBody))
 		return
 	}
-	span := tr.StartSpan("read")
-	stream, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
-	span.End()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+	// Pipeline containers are decoded straight off the request body — block
+	// frames are read and decoded in a bounded window, so a large container
+	// is never buffered in full. Anything else is a single codec stream and
+	// needs the whole slice.
+	br := bufio.NewReader(io.LimitReader(r.Body, maxBody))
+	var f *field.Field
+	if peek, perr := br.Peek(len(pipeline.Magic)); perr == nil && [4]byte(peek) == pipeline.Magic {
+		p := pipeline.New(codec, pipeline.Options{Limits: s.cfg.decodeLimits})
+		span := tr.StartSpan("codec")
+		f, err = p.DecompressStream(br)
+		span.End()
+	} else {
+		span := tr.StartSpan("read")
+		var stream []byte
+		stream, err = io.ReadAll(br)
+		span.End()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		span = tr.StartSpan("codec")
+		f, err = compressor.DecompressLimited(codec, stream, s.cfg.decodeLimits)
+		span.End()
 	}
-	span = tr.StartSpan("codec")
-	f, err := compressor.DecompressLimited(codec, stream, s.cfg.decodeLimits)
-	span.End()
 	if err != nil {
 		// Limit rejections are the client asking for more than this server
 		// will allocate (413: shrink it); truncation/corruption means the

@@ -85,6 +85,61 @@ func TestCompressDecompressRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStreamingCompressRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	f, body := testBody(t)
+
+	resp, err := http.Post(srv.URL+"/v1/compress?codec=sz3&rel=1e-3&stream=1&workers=2&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream compress: status %d, %v", resp.StatusCode, err)
+	}
+	if len(stream) < 4 || string(stream[:4]) != "CPL1" {
+		t.Fatalf("stream=1 did not answer a CPL1 container (got %d bytes)", len(stream))
+	}
+	// The achieved ratio is only known after the body: it arrives as a trailer.
+	achieved, err := strconv.ParseFloat(resp.Trailer.Get("X-Carol-Achieved-Ratio"), 64)
+	if err != nil || achieved <= 1 {
+		t.Fatalf("achieved trailer %q", resp.Trailer.Get("X-Carol-Achieved-Ratio"))
+	}
+
+	// /v1/decompress must auto-detect the container by its magic.
+	resp, err = http.Post(srv.URL+"/v1/decompress?codec=sz3",
+		"application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status %d", resp.StatusCode)
+	}
+	g, err := field.ReadRaw("resp", 24, 24, 8, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := 1e-3 * f.ValueRange()
+	if err := f.Equalish(g, eb*1.01); err != nil {
+		t.Fatal(err)
+	}
+
+	_, body = testBody(t)
+	resp, err = http.Post(srv.URL+"/v1/compress?codec=sz3&rel=1e-3&stream=1&workers=0&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("workers=0: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestCompressFixedRatioEndpoint(t *testing.T) {
 	srv := httptest.NewServer(newServer())
 	defer srv.Close()

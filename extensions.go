@@ -10,6 +10,7 @@ import (
 	"carol/internal/codecs"
 	"carol/internal/compressor"
 	"carol/internal/fraz"
+	"carol/internal/pipeline"
 	"carol/internal/pwrel"
 	"carol/internal/quality"
 )
@@ -100,6 +101,47 @@ func DecompressChunked(compressorName string, stream []byte) (*Field, error) {
 		return nil, err
 	}
 	return chunked.Decompress(codec, stream, chunked.Options{})
+}
+
+// StreamOptions tunes the streaming endpoints. The zero value takes
+// defaults (GOMAXPROCS blocks and workers).
+type StreamOptions struct {
+	// Blocks is the number of slabs the field is split into. More blocks
+	// smooth load balancing; each costs a per-block codec header.
+	Blocks int
+	// Workers bounds concurrent codec invocations.
+	Workers int
+}
+
+// CompressStream compresses f block-parallel with the named compressor at a
+// value-range-relative error bound, writing the pipeline container (CPL1)
+// to w as blocks complete: neither the compressed stream nor more than a
+// bounded window of in-flight blocks is ever resident at once. The output
+// is bit-identical for every StreamOptions.Workers value; decode it with
+// DecompressStream.
+func CompressStream(compressorName string, w io.Writer, f *Field, relErrorBound float64, opts StreamOptions) error {
+	codec, err := codecs.ByName(compressorName)
+	if err != nil {
+		return err
+	}
+	if !(relErrorBound > 0) {
+		return fmt.Errorf("carol: invalid relative error bound %g", relErrorBound)
+	}
+	p := pipeline.New(codec, pipeline.Options{Blocks: opts.Blocks, Workers: opts.Workers})
+	return p.CompressStream(w, f, compressor.AbsBound(f, relErrorBound))
+}
+
+// DecompressStream reverses CompressStream, reading block frames from r one
+// at a time and decoding them in parallel. Input claimed by a hostile or
+// corrupt stream is validated against the default safedec limits before
+// anything is allocated from it; r is never buffered in full.
+func DecompressStream(compressorName string, r io.Reader, opts StreamOptions) (*Field, error) {
+	codec, err := codecs.ByName(compressorName)
+	if err != nil {
+		return nil, err
+	}
+	p := pipeline.New(codec, pipeline.Options{Blocks: opts.Blocks, Workers: opts.Workers})
+	return p.DecompressStream(r)
 }
 
 // ExtendedCompressors lists every available compressor including the

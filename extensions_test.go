@@ -107,6 +107,39 @@ func TestChunkedRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStreamRoundTrip(t *testing.T) {
+	f := testField(t, "pressure")
+	for _, name := range []string{"szx", "sz3"} {
+		var serial, parallel bytes.Buffer
+		if err := CompressStream(name, &serial, f, 1e-3, StreamOptions{Workers: 1}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := CompressStream(name, &parallel, f, 1e-3, StreamOptions{Workers: 4}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			t.Fatalf("%s: stream bytes differ between 1 and 4 workers", name)
+		}
+		g, err := DecompressStream(name, &parallel, StreamOptions{Workers: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		eb := 1e-3 * f.ValueRange()
+		if got := MaxAbsError(f, g); got > eb*1.01 {
+			t.Fatalf("%s: streaming max error %g > %g", name, got, eb)
+		}
+	}
+	if err := CompressStream("szx", &bytes.Buffer{}, f, 0, StreamOptions{}); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+	if err := CompressStream("nope", &bytes.Buffer{}, f, 1e-3, StreamOptions{}); err == nil {
+		t.Fatal("unknown compressor accepted")
+	}
+	if _, err := DecompressStream("szx", strings.NewReader("garbage"), StreamOptions{}); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}
+
 func TestExtendedCompressors(t *testing.T) {
 	ext := ExtendedCompressors()
 	if len(ext) != 5 || ext[4] != "szp" {

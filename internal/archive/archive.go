@@ -19,6 +19,7 @@ import (
 	"carol/internal/codecs"
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/pipeline"
 	"carol/internal/safedec"
 	"carol/internal/szp"
 )
@@ -59,6 +60,23 @@ func (w *Writer) Add(name, codecName string, f *field.Field, eb float64) error {
 		return err
 	}
 	stream, err := codec.Compress(f, eb)
+	if err != nil {
+		return fmt.Errorf("archive: compress %q: %w", name, err)
+	}
+	return w.AddRaw(Entry{Name: name, Codec: codecName, Stream: stream})
+}
+
+// AddPipeline compresses f block-parallel with the named codec at absolute
+// bound eb and appends the resulting CPL1 pipeline container as the entry
+// stream. Extraction auto-detects the container (see FieldLimited), so
+// pipeline and plain entries mix freely within one archive.
+func (w *Writer) AddPipeline(name, codecName string, f *field.Field, eb float64, workers int) error {
+	codec, err := codecs.ByName(codecName)
+	if err != nil {
+		return err
+	}
+	p := pipeline.New(codec, pipeline.Options{Workers: workers})
+	stream, err := p.Compress(f, eb)
 	if err != nil {
 		return fmt.Errorf("archive: compress %q: %w", name, err)
 	}
@@ -260,6 +278,11 @@ func (a *Archive) FieldLimited(name string, lim safedec.Limits) (*field.Field, e
 	if err != nil {
 		return nil, err
 	}
+	// Entries written by AddPipeline carry the CPL1 pipeline container
+	// around the codec stream; detect it and decode block-parallel.
+	if isPipeline(e.Stream) {
+		codec = pipeline.New(codec, pipeline.Options{})
+	}
 	f, err := compressor.DecompressLimited(codec, e.Stream, lim)
 	if err != nil {
 		return nil, fmt.Errorf("archive: decompress %q: %w", name, err)
@@ -295,7 +318,24 @@ func (a *Archive) Ratio() (float64, error) {
 	return float64(raw) / float64(a.TotalCompressed()), nil
 }
 
+// isPipeline reports whether a stream is a CPL1 pipeline container.
+func isPipeline(stream []byte) bool {
+	return len(stream) >= len(pipeline.Magic) && [4]byte(stream[:4]) == pipeline.Magic
+}
+
 func headerOf(e Entry) (compressor.Header, []byte, error) {
+	// Pipeline containers carry the field dims in their own header; the
+	// codec headers live per block inside the frames.
+	if isPipeline(e.Stream) {
+		if len(e.Stream) < 20 {
+			return compressor.Header{}, nil, fmt.Errorf("archive: truncated pipeline container: %w", safedec.ErrTruncated)
+		}
+		return compressor.Header{
+			Nx: int(binary.LittleEndian.Uint32(e.Stream[4:])),
+			Ny: int(binary.LittleEndian.Uint32(e.Stream[8:])),
+			Nz: int(binary.LittleEndian.Uint32(e.Stream[12:])),
+		}, nil, nil
+	}
 	var want byte
 	switch e.Codec {
 	case "szx":

@@ -61,6 +61,44 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPipelineEntryRoundTrip(t *testing.T) {
+	fields := testFields(t)
+	w := NewWriter()
+	f := fields[0]
+	if err := w.AddPipeline(f.Name, "sz3", f, compressor.AbsBound(f, 1e-3), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("plain", "sz3", fields[1], compressor.AbsBound(fields[1], 1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.Field(f.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, compressor.AbsBound(f, 1e-3)); err != nil {
+		t.Fatalf("pipeline entry: %v", err)
+	}
+	if _, err := a.Field("plain"); err != nil {
+		t.Fatalf("plain entry alongside pipeline entry: %v", err)
+	}
+	// Ratio needs the header of every entry, including CPL1 containers.
+	ratio, err := a.Ratio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1 {
+		t.Fatalf("archive ratio %g", ratio)
+	}
+}
+
 func TestDuplicateNameRejected(t *testing.T) {
 	f := testFields(t)[0]
 	w := NewWriter()

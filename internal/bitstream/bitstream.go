@@ -35,6 +35,16 @@ func NewWriter(n int) *Writer {
 	return &Writer{buf: make([]byte, 0, n)}
 }
 
+// Reset rewinds the Writer to an empty stream, retaining the underlying
+// buffer so a pooled Writer reused across blocks stops allocating once it
+// has grown to the block working-set size.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.n = 0
+	w.bits = 0
+}
+
 // WriteBit appends a single bit (any nonzero b writes 1).
 func (w *Writer) WriteBit(b uint) {
 	w.cur <<= 1
@@ -126,6 +136,22 @@ func (w *Writer) Bytes() []byte {
 	return out
 }
 
+// AppendTo appends the stream bytes (including a zero-padded partial final
+// byte) to dst and returns the result. Unlike Bytes it allocates nothing
+// beyond dst's own growth, so pooled encoders can assemble output in place.
+// The Writer is left untouched, exactly as Bytes does.
+func (w *Writer) AppendTo(dst []byte) []byte {
+	dst = append(dst, w.buf...)
+	if w.n > 0 {
+		v := w.cur << (64 - w.n)
+		for used := uint(0); used < w.n; used += 8 {
+			dst = append(dst, byte(v>>56))
+			v <<= 8
+		}
+	}
+	return dst
+}
+
 // BitLen reports the exact number of valid bits represented by Bytes().
 func (w *Writer) BitLen() uint64 { return w.bits }
 
@@ -142,11 +168,19 @@ type Reader struct {
 // NewReader returns a Reader over buf. If bitLen > 0 it caps the number of
 // readable bits (otherwise 8*len(buf) is used).
 func NewReader(buf []byte, bitLen uint64) *Reader {
+	r := &Reader{}
+	r.Reset(buf, bitLen)
+	return r
+}
+
+// Reset re-targets the Reader at buf with the same bitLen semantics as
+// NewReader, so pooled decoders can reuse one Reader across blocks.
+func (r *Reader) Reset(buf []byte, bitLen uint64) {
 	m := uint64(len(buf)) * 8
 	if bitLen > 0 && bitLen < m {
 		m = bitLen
 	}
-	return &Reader{buf: buf, max: m}
+	*r = Reader{buf: buf, max: m}
 }
 
 // ReadBit reads a single bit.

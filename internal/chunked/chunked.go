@@ -1,24 +1,24 @@
 // Package chunked provides parallel whole-field compression on top of any
-// codec: the field is split into z-slabs (rows for 2D, runs for 1D), each
-// slab is compressed independently on its own goroutine, and the streams
-// are assembled into a self-describing container. Decompression is
-// likewise parallel.
+// codec, assembling per-slab streams into the CCH1 container (magic, dims,
+// chunk count, up-front length table, streams). The format predates the
+// pipeline package's streaming container and is kept byte-identical for
+// compatibility; the splitting geometry and the bounded worker pool now
+// come from internal/pipeline, making this package a thin consumer of the
+// shared block pipeline. New code that wants a streaming path should use
+// pipeline.Codec directly.
 //
-// This is the standard HPC pattern for driving block-independent
-// compressors across cores (ZFP's OpenMP mode, cuSZp's thread blocks), and
-// what a CAROL deployment uses once the error bound is chosen. Chunking
-// changes the stream format but not the error bound: every sample is still
-// reconstructed within eb.
+// Chunking changes the stream format but not the error bound: every sample
+// is still reconstructed within eb.
 package chunked
 
 import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/pipeline"
 	"carol/internal/safedec"
 )
 
@@ -47,82 +47,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// slabRanges splits [0, n) into k contiguous non-empty ranges.
-func slabRanges(n, k int) [][2]int {
-	if k > n {
-		k = n
-	}
-	out := make([][2]int, 0, k)
-	for i := 0; i < k; i++ {
-		lo := i * n / k
-		hi := (i + 1) * n / k
-		if hi > lo {
-			out = append(out, [2]int{lo, hi})
-		}
-	}
-	return out
-}
-
-// splitField cuts f into slabs along its slowest-varying non-trivial axis.
-func splitField(f *field.Field, chunks int) []*field.Field {
-	switch {
-	case f.Nz > 1:
-		ranges := slabRanges(f.Nz, chunks)
-		out := make([]*field.Field, len(ranges))
-		slabSize := f.Nx * f.Ny
-		for i, r := range ranges {
-			out[i] = field.FromData(
-				fmt.Sprintf("%s/z%d", f.Name, i), f.Nx, f.Ny, r[1]-r[0],
-				f.Data[r[0]*slabSize:r[1]*slabSize])
-		}
-		return out
-	case f.Ny > 1:
-		ranges := slabRanges(f.Ny, chunks)
-		out := make([]*field.Field, len(ranges))
-		for i, r := range ranges {
-			out[i] = field.FromData(
-				fmt.Sprintf("%s/y%d", f.Name, i), f.Nx, r[1]-r[0], 1,
-				f.Data[r[0]*f.Nx:r[1]*f.Nx])
-		}
-		return out
-	default:
-		ranges := slabRanges(f.Nx, chunks)
-		out := make([]*field.Field, len(ranges))
-		for i, r := range ranges {
-			out[i] = field.FromData(
-				fmt.Sprintf("%s/x%d", f.Name, i), r[1]-r[0], 1, 1,
-				f.Data[r[0]:r[1]])
-		}
-		return out
-	}
-}
-
 // Compress compresses f with codec at absolute bound eb, slab-parallel.
 func Compress(codec compressor.Codec, f *field.Field, eb float64, opts Options) ([]byte, error) {
 	if err := compressor.ValidateArgs(f, eb); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	slabs := splitField(f, opts.Chunks)
-	streams := make([][]byte, len(slabs))
-	errs := make([]error, len(slabs))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i, slab := range slabs {
-		wg.Add(1)
-		go func(i int, slab *field.Field) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			streams[i], errs[i] = codec.Compress(slab, eb)
-		}(i, slab)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("chunked: slab %d: %w", i, err)
-		}
+	slabs := pipeline.SplitField(f, opts.Chunks)
+	streams, err := pipeline.CompressSlabs(codec, slabs, eb, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("chunked: %w", err)
 	}
 
 	// Container: magic, dims, chunk count, per-chunk lengths, streams.
@@ -144,32 +78,6 @@ func Compress(codec compressor.Codec, f *field.Field, eb float64, opts Options) 
 		out = append(out, s...)
 	}
 	return out, nil
-}
-
-// expectedSlabDims recomputes the encoder's slab geometry from the
-// container dimensions and chunk count. slabRanges is deterministic and the
-// encoder stores n = len(slabRanges(extent, opts.Chunks)), so the decoder
-// can re-derive every slab's exact dims and refuse containers whose decoded
-// chunks claim anything else.
-func expectedSlabDims(nx, ny, nz, n int) [][3]int {
-	var ranges [][2]int
-	var mk func(r [2]int) [3]int
-	switch {
-	case nz > 1:
-		ranges = slabRanges(nz, n)
-		mk = func(r [2]int) [3]int { return [3]int{nx, ny, r[1] - r[0]} }
-	case ny > 1:
-		ranges = slabRanges(ny, n)
-		mk = func(r [2]int) [3]int { return [3]int{nx, r[1] - r[0], 1} }
-	default:
-		ranges = slabRanges(nx, n)
-		mk = func(r [2]int) [3]int { return [3]int{r[1] - r[0], 1, 1} }
-	}
-	out := make([][3]int, len(ranges))
-	for i, r := range ranges {
-		out[i] = mk(r)
-	}
-	return out
 }
 
 // Decompress reverses Compress, decoding slabs in parallel. Container-claimed
@@ -218,36 +126,21 @@ func Decompress(codec compressor.Codec, stream []byte, opts Options) (*field.Fie
 		chunks[i] = stream[pos : pos+l]
 		pos += l
 	}
-	want := expectedSlabDims(nx, ny, nz, n)
+	want := pipeline.ExpectedSlabDims(nx, ny, nz, n)
 	if len(want) != n {
 		return nil, fmt.Errorf("chunked: %d chunks cannot tile a %dx%dx%d field: %w",
 			n, nx, ny, nz, safedec.ErrCorrupt)
 	}
 
-	slabs := make([]*field.Field, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i, c := range chunks {
-		wg.Add(1)
-		go func(i int, c []byte) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			slabs[i], errs[i] = compressor.DecompressLimited(codec, c, lim)
-			if errs[i] == nil {
-				d := want[i]
-				if slabs[i].Nx != d[0] || slabs[i].Ny != d[1] || slabs[i].Nz != d[2] {
-					errs[i] = fmt.Errorf("chunked: slab dims %dx%dx%d, want %dx%dx%d: %w",
-						slabs[i].Nx, slabs[i].Ny, slabs[i].Nz, d[0], d[1], d[2], safedec.ErrCorrupt)
-				}
-			}
-		}(i, c)
+	slabs, err := pipeline.DecompressSlabs(codec, chunks, lim, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("chunked: %w", err)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("chunked: slab %d: %w", i, err)
+	for i, slab := range slabs {
+		d := want[i]
+		if slab.Nx != d[0] || slab.Ny != d[1] || slab.Nz != d[2] {
+			return nil, fmt.Errorf("chunked: slab %d dims %dx%dx%d, want %dx%dx%d: %w",
+				i, slab.Nx, slab.Ny, slab.Nz, d[0], d[1], d[2], safedec.ErrCorrupt)
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"carol/internal/compressor"
 	"carol/internal/dataset"
 	"carol/internal/field"
+	"carol/internal/pipeline"
 )
 
 func testField(t testing.TB, nx, ny, nz int) *field.Field {
@@ -23,7 +24,7 @@ func TestSlabRanges(t *testing.T) {
 		{10, 3, 3}, {10, 10, 10}, {3, 8, 3}, {1, 4, 1},
 	}
 	for _, c := range cases {
-		ranges := slabRanges(c.n, c.k)
+		ranges := pipeline.SlabRanges(c.n, c.k)
 		if len(ranges) != c.want {
 			t.Fatalf("slabRanges(%d,%d) -> %d ranges", c.n, c.k, len(ranges))
 		}

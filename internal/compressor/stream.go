@@ -1,0 +1,94 @@
+// Stream codec layer: io.Writer/io.Reader-based compression endpoints.
+//
+// Slice-based Codecs hold the whole field, the whole compressed stream and
+// every intermediate buffer resident at once; StreamCodec is the interface
+// serving paths use so peak memory stops scaling with field size (the
+// pipeline package provides the block-parallel implementation). NewStream
+// adapts any existing Codec so every codec in the registry has a streaming
+// form.
+package compressor
+
+import (
+	"fmt"
+	"io"
+
+	"carol/internal/field"
+	"carol/internal/safedec"
+)
+
+// StreamCodec is an error-bounded lossy compressor with streaming
+// endpoints. CompressStream writes the compressed representation of f to w;
+// DecompressStream reconstructs a field from r, reading only as much input
+// as its safedec limits allow.
+type StreamCodec interface {
+	// Name returns the compressor's short identifier.
+	Name() string
+	// CompressStream encodes f under absolute error bound eb > 0 onto w.
+	CompressStream(w io.Writer, f *field.Field, eb float64) error
+	// DecompressStream reconstructs the field encoded on r.
+	DecompressStream(r io.Reader) (*field.Field, error)
+}
+
+// streamAdapter lifts a slice-based Codec to StreamCodec. The bytes written
+// by CompressStream are exactly Compress's output, so slice and streaming
+// paths stay bit-compatible.
+type streamAdapter struct {
+	Codec
+	lim safedec.Limits
+}
+
+// NewStream adapts c to the StreamCodec interface under the default safedec
+// limits. If c already implements StreamCodec it is returned unchanged.
+func NewStream(c Codec) StreamCodec {
+	return NewStreamLimited(c, safedec.Default())
+}
+
+// NewStreamLimited adapts c to StreamCodec with explicit limits bounding
+// how much compressed input DecompressStream will buffer. If c already
+// implements StreamCodec it is returned unchanged.
+func NewStreamLimited(c Codec, lim safedec.Limits) StreamCodec {
+	if sc, ok := c.(StreamCodec); ok {
+		return sc
+	}
+	return &streamAdapter{Codec: c, lim: lim.Norm()}
+}
+
+// CompressStream implements StreamCodec.
+func (a *streamAdapter) CompressStream(w io.Writer, f *field.Field, eb float64) error {
+	stream, err := a.Compress(f, eb)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(stream); err != nil {
+		return fmt.Errorf("%s: stream write: %w", a.Name(), err)
+	}
+	return nil
+}
+
+// DecompressStream implements StreamCodec. The input is consumed up to the
+// adapter's MaxAlloc limit and no further: a stream larger than that is
+// rejected with an error wrapping safedec.ErrLimit instead of being
+// buffered without bound.
+func (a *streamAdapter) DecompressStream(r io.Reader) (*field.Field, error) {
+	stream, err := ReadAllLimited(r, a.lim)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	return DecompressLimited(a.Codec, stream, a.lim)
+}
+
+// ReadAllLimited reads r to EOF, refusing (with an error wrapping
+// safedec.ErrLimit) inputs longer than lim.MaxAlloc bytes. Unlike
+// io.ReadAll over an unbounded reader, a hostile endless input stops
+// consuming memory — and stops being read — at the limit.
+func ReadAllLimited(r io.Reader, lim safedec.Limits) ([]byte, error) {
+	lim = lim.Norm()
+	buf, err := io.ReadAll(io.LimitReader(r, lim.MaxAlloc+1))
+	if err != nil {
+		return nil, fmt.Errorf("stream read: %w", err)
+	}
+	if int64(len(buf)) > lim.MaxAlloc {
+		return nil, fmt.Errorf("stream of more than %d bytes: %w", lim.MaxAlloc, safedec.ErrLimit)
+	}
+	return buf, nil
+}

@@ -161,6 +161,8 @@ func Registry() []Runner {
 		{"ext4", "Extension: feedback loop", RunExtFeedback},
 		{"ext5", "Extension: model feature importance", RunExtImportance},
 		{"ext6", "Extension: SPERR progressive decoding", RunExtProgressive},
+		{"thr", "Extension: codec throughput through the block pipeline (MB/s)",
+			func(w io.Writer, s Scale) error { return RunThroughput(w, s, 0) }},
 	}
 }
 

@@ -22,7 +22,7 @@ func TestParseScale(t *testing.T) {
 
 func TestRegistryAndFind(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
+	if len(reg) != 20 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	ids := map[string]bool{}

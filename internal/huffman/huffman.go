@@ -2,12 +2,21 @@
 // SZ3 compressor reimplementation. Symbols are non-negative quantization
 // codes (uint32); the encoder emits a self-describing stream containing the
 // code-length table followed by the packed code words.
+//
+// The coder state (frequency tables, tree arena, canonical-code tables) is
+// held in reusable Encoder/Decoder values so block pipelines can amortize
+// the scratch across calls; the package-level Encode/Decode functions draw
+// from a sync.Pool and are what single-shot callers use. Streams are
+// byte-identical to the historical map-based implementation: the merge tree
+// is built under a strict total order on (frequency, symbol), so the emitted
+// code-length table — and therefore every canonical code word — is fully
+// determined by the input histogram.
 package huffman
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"carol/internal/bitstream"
 	"carol/internal/safedec"
@@ -16,6 +25,13 @@ import (
 // maxCodeLen caps code lengths so the decoder tables stay small. With
 // length-limited rebalancing this supports arbitrarily skewed inputs.
 const maxCodeLen = 32
+
+// denseLimit bounds the symbol value up to which the encoder uses dense
+// (array-indexed) frequency and code tables. SZ3 quantization codes top out
+// at 2*quantRadius (65536), far below this; larger symbol values fall back
+// to a map-based histogram so a stray huge symbol cannot force a huge
+// allocation.
+const denseLimit = 1 << 18
 
 // ErrCorrupt is returned when a stream cannot be decoded. It belongs to the
 // safedec taxonomy: errors.Is(ErrCorrupt, safedec.ErrCorrupt) is true.
@@ -27,84 +43,298 @@ func (corruptError) Error() string { return "huffman: corrupt stream" }
 
 func (corruptError) Is(target error) bool { return target == safedec.ErrCorrupt }
 
-type node struct {
+// enode is one node of the merge tree, held in the Encoder's arena. The
+// first k arena entries are the leaves, in ascending symbol order.
+type enode struct {
 	freq        uint64
-	symbol      uint32
-	left, right *node
+	sym         uint32 // leaf symbol, or min symbol of the subtree
+	left, right int32  // arena indices; -1 for leaves
 }
 
-type nodeHeap []*node
+// Encoder is a reusable canonical Huffman encoder. The zero value is ready
+// to use; Encode may be called repeatedly and reuses all internal scratch.
+// An Encoder is not safe for concurrent use — pool instances instead (the
+// package-level Encode does exactly that).
+type Encoder struct {
+	// Dense per-symbol tables, sized maxSym+1 when maxSym < denseLimit and
+	// sparsely cleared after every call so steady-state reuse allocates
+	// nothing.
+	freq []uint64
+	lut  []uint64 // code<<6 | length, valid only for this call's symbols
 
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
+	// Sparse fallback for symbol values >= denseLimit.
+	freqMap map[uint32]uint64
+	lutMap  map[uint32]uint64
+
+	// dense records which histogram/lookup path the current call uses.
+	dense bool
+
+	syms  []uint32 // distinct symbols, ascending
+	freqs []uint64 // aligned to syms
+	lens  []uint8  // aligned to syms
+	codes []uint64 // aligned to syms
+	order []int32  // syms indices sorted by (length, symbol)
+
+	nodes []enode
+	heap  []int32
+	stack []int32 // iterative tree walk: packed (node<<8 | depth)
+
+	w bitstream.Writer
+}
+
+// NewEncoder returns an empty Encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Reset releases the Encoder's retained scratch so the memory can be
+// reclaimed. It is never required for correctness — Encode cleans its state
+// after every call — but lets long-lived holders drop a large working set.
+func (e *Encoder) Reset() { *e = Encoder{} }
+
+// Encode compresses the symbol sequence. The output stream embeds the code
+// table, so Decode needs no side information.
+func (e *Encoder) Encode(symbols []uint32) []byte {
+	return e.AppendEncode(nil, symbols)
+}
+
+// AppendEncode appends the encoded stream for symbols to dst and returns
+// the extended slice. With a pre-sized dst this performs no allocations
+// beyond dst's own growth.
+func (e *Encoder) AppendEncode(dst []byte, symbols []uint32) []byte {
+	e.histogram(symbols)
+	e.buildLengths()
+	e.assignCodes()
+
+	e.w.Reset()
+	w := &e.w
+	// Header: #symbols in alphabet, #symbols in payload.
+	w.WriteBits(uint64(len(e.syms)), 32)
+	w.WriteBits(uint64(len(symbols)), 32)
+	for i, s := range e.syms {
+		w.WriteBits(uint64(s), 32)
+		w.WriteBits(uint64(e.lens[i]), 6)
 	}
-	return h[i].symbol < h[j].symbol
-}
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// codeLengths computes Huffman code lengths for the given frequency map.
-func codeLengths(freqs map[uint32]uint64) map[uint32]uint {
-	lengths := make(map[uint32]uint, len(freqs))
-	switch len(freqs) {
-	case 0:
-		return lengths
-	case 1:
-		for s := range freqs {
-			lengths[s] = 1
+	// Publish the per-symbol (code, length) lookup, then stream the payload.
+	for i, s := range e.syms {
+		packed := e.codes[i]<<6 | uint64(e.lens[i])
+		if e.dense {
+			e.lut[s] = packed
+		} else {
+			e.lutMap[s] = packed
 		}
-		return lengths
 	}
-	// Seed the heap in sorted symbol order. Less breaks frequency ties by
-	// symbol, so pop order is already a total order — but building from the
-	// map's randomized iteration order would leave that property carrying
-	// the entire determinism burden; sorted construction makes the tree
-	// (and the emitted table) byte-identical by construction.
-	syms := make([]uint32, 0, len(freqs))
-	for s := range freqs {
-		syms = append(syms, s)
+	if e.dense {
+		for _, s := range symbols {
+			packed := e.lut[s]
+			w.WriteBits(packed>>6, uint(packed&63))
+		}
+	} else {
+		for _, s := range symbols {
+			packed := e.lutMap[s]
+			w.WriteBits(packed>>6, uint(packed&63))
+		}
 	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-	h := make(nodeHeap, 0, len(freqs))
-	for _, s := range syms {
-		h = append(h, &node{freq: freqs[s], symbol: s})
+
+	// Prefix the bit length so Decode can cap its reader.
+	bits := w.BitLen()
+	var pre [8]byte
+	for i := 0; i < 8; i++ {
+		pre[i] = byte(bits >> (56 - 8*i))
 	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(*node)
-		b := heap.Pop(&h).(*node)
-		heap.Push(&h, &node{freq: a.freq + b.freq, symbol: min32(a.symbol, b.symbol), left: a, right: b})
+	dst = append(dst, pre[:]...)
+	dst = w.AppendTo(dst)
+	e.clean()
+	return dst
+}
+
+// histogram fills syms (distinct, ascending) and freqs from symbols.
+func (e *Encoder) histogram(symbols []uint32) {
+	e.syms = e.syms[:0]
+	var maxSym uint32
+	for _, s := range symbols {
+		if s > maxSym {
+			maxSym = s
+		}
 	}
-	root := h[0]
-	var walk func(n *node, depth uint)
-	walk = func(n *node, depth uint) {
-		if n.left == nil {
-			lengths[n.symbol] = depth
+	if len(symbols) > 0 && maxSym < denseLimit {
+		e.dense = true
+		need := int(maxSym) + 1
+		if len(e.freq) < need {
+			e.freq = make([]uint64, need)
+			e.lut = make([]uint64, need)
+		}
+		for _, s := range symbols {
+			if e.freq[s] == 0 {
+				e.syms = append(e.syms, s)
+			}
+			e.freq[s]++
+		}
+		slices.Sort(e.syms)
+		e.freqs = e.freqs[:0]
+		for _, s := range e.syms {
+			e.freqs = append(e.freqs, e.freq[s])
+		}
+		return
+	}
+	// Sparse fallback (huge symbol values, or empty input).
+	e.dense = false
+	if e.freqMap == nil {
+		e.freqMap = make(map[uint32]uint64)
+		e.lutMap = make(map[uint32]uint64)
+	}
+	for _, s := range symbols {
+		if e.freqMap[s] == 0 {
+			e.syms = append(e.syms, s)
+		}
+		e.freqMap[s]++
+	}
+	slices.Sort(e.syms)
+	e.freqs = e.freqs[:0]
+	for _, s := range e.syms {
+		e.freqs = append(e.freqs, e.freqMap[s])
+	}
+}
+
+// clean sparsely clears the per-call state so the next Encode starts from
+// zeroed tables without touching memory this call never wrote.
+func (e *Encoder) clean() {
+	if e.dense {
+		for _, s := range e.syms {
+			e.freq[s] = 0
+			e.lut[s] = 0
+		}
+	} else if e.freqMap != nil {
+		clear(e.freqMap)
+		clear(e.lutMap)
+	}
+	e.syms = e.syms[:0]
+}
+
+// buildLengths computes length-limited Huffman code lengths for the current
+// histogram into e.lens, reproducing the classic two-queue-free heap merge:
+// leaves seeded in ascending symbol order, ties broken by symbol, internal
+// nodes carrying the minimum symbol of their subtree. The order is strict
+// and total, so the resulting lengths are implementation-independent.
+func (e *Encoder) buildLengths() {
+	k := len(e.syms)
+	e.lens = e.lens[:0]
+	for i := 0; i < k; i++ {
+		e.lens = append(e.lens, 0)
+	}
+	switch k {
+	case 0:
+		return
+	case 1:
+		e.lens[0] = 1
+		return
+	}
+	e.nodes = e.nodes[:0]
+	for i := 0; i < k; i++ {
+		e.nodes = append(e.nodes, enode{freq: e.freqs[i], sym: e.syms[i], left: -1, right: -1})
+	}
+	e.heap = e.heap[:0]
+	for i := 0; i < k; i++ {
+		e.heap = append(e.heap, int32(i))
+	}
+	e.heapInit()
+	for len(e.heap) > 1 {
+		a := e.heapPop()
+		b := e.heapPop()
+		na, nb := e.nodes[a], e.nodes[b]
+		sym := na.sym
+		if nb.sym < sym {
+			sym = nb.sym
+		}
+		e.nodes = append(e.nodes, enode{freq: na.freq + nb.freq, sym: sym, left: a, right: b})
+		e.heapPush(int32(len(e.nodes) - 1))
+	}
+	// Iterative depth-first walk, left before right, assigning leaf depths.
+	// Leaves are arena entries [0, k): the leaf index is the syms index.
+	e.stack = e.stack[:0]
+	e.stack = append(e.stack, e.heap[0]<<8)
+	for len(e.stack) > 0 {
+		top := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		idx, depth := top>>8, uint8(top&0xff)
+		n := e.nodes[idx]
+		if n.left < 0 {
+			e.lens[idx] = depth
+			continue
+		}
+		// Push right first so left pops (and is visited) first; visit order
+		// does not affect lengths but keeps traversal costs predictable.
+		e.stack = append(e.stack, n.right<<8|int32(depth)+1)
+		e.stack = append(e.stack, n.left<<8|int32(depth)+1)
+	}
+	e.limitLengths()
+}
+
+// heapLess orders arena nodes by (frequency, symbol) — the same strict total
+// order the original pointer-heap used.
+func (e *Encoder) heapLess(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	if na.freq != nb.freq {
+		return na.freq < nb.freq
+	}
+	return na.sym < nb.sym
+}
+
+func (e *Encoder) heapInit() {
+	n := len(e.heap)
+	for i := n/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+func (e *Encoder) heapPush(x int32) {
+	e.heap = append(e.heap, x)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Encoder) heapPop() int32 {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Encoder) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
 			return
 		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		m := l
+		if r := l + 1; r < n && e.heapLess(e.heap[r], e.heap[l]) {
+			m = r
+		}
+		if !e.heapLess(e.heap[m], e.heap[i]) {
+			return
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
 	}
-	walk(root, 0)
-	// Length-limit: clamp and re-normalize so Kraft sum <= 1.
-	limitLengths(lengths)
-	return lengths
 }
 
 // limitLengths clamps code lengths to maxCodeLen while keeping the Kraft
-// inequality satisfied (a simplified Package-Merge style adjustment).
-func limitLengths(lengths map[uint32]uint) {
+// inequality satisfied (a simplified Package-Merge style adjustment),
+// demoting in ascending symbol order exactly as the historical
+// implementation did.
+func (e *Encoder) limitLengths() {
 	over := false
-	for _, l := range lengths {
+	for _, l := range e.lens {
 		if l > maxCodeLen {
 			over = true
 			break
@@ -113,24 +343,22 @@ func limitLengths(lengths map[uint32]uint) {
 	if !over {
 		return
 	}
-	syms := sortedSymbols(lengths)
-	for _, s := range syms {
-		if lengths[s] > maxCodeLen {
-			lengths[s] = maxCodeLen
+	for i, l := range e.lens {
+		if l > maxCodeLen {
+			e.lens[i] = maxCodeLen
 		}
 	}
 	// kraft sum in units of 2^-maxCodeLen
 	var kraft uint64
-	for _, l := range lengths {
+	for _, l := range e.lens {
 		kraft += 1 << (maxCodeLen - l)
 	}
 	limit := uint64(1) << maxCodeLen
 	// Demote shortest codes until the sum fits.
 	for kraft > limit {
-		for _, s := range syms {
-			l := lengths[s]
+		for i, l := range e.lens {
 			if l < maxCodeLen {
-				lengths[s] = l + 1
+				e.lens[i] = l + 1
 				kraft -= 1 << (maxCodeLen - l - 1)
 				if kraft <= limit {
 					break
@@ -140,67 +368,66 @@ func limitLengths(lengths map[uint32]uint) {
 	}
 }
 
-// canonicalCodes assigns canonical code words given code lengths: symbols
-// sorted by (length, symbol) receive consecutive codes.
-func canonicalCodes(lengths map[uint32]uint) map[uint32]uint64 {
-	syms := sortedSymbols(lengths)
-	sort.Slice(syms, func(i, j int) bool {
-		li, lj := lengths[syms[i]], lengths[syms[j]]
-		if li != lj {
-			return li < lj
+// assignCodes computes canonical code words for the current lengths:
+// symbols sorted by (length, symbol) receive consecutive codes.
+func (e *Encoder) assignCodes() {
+	k := len(e.syms)
+	e.order = e.order[:0]
+	for i := 0; i < k; i++ {
+		e.order = append(e.order, int32(i))
+	}
+	slices.SortFunc(e.order, func(ia, ib int32) int {
+		if e.lens[ia] != e.lens[ib] {
+			return int(e.lens[ia]) - int(e.lens[ib])
 		}
-		return syms[i] < syms[j]
+		if e.syms[ia] < e.syms[ib] {
+			return -1
+		}
+		return 1
 	})
-	codes := make(map[uint32]uint64, len(syms))
+	e.codes = e.codes[:0]
+	for i := 0; i < k; i++ {
+		e.codes = append(e.codes, 0)
+	}
 	var code uint64
-	var prevLen uint
-	for _, s := range syms {
-		l := lengths[s]
-		code <<= (l - prevLen)
-		codes[s] = code
+	var prevLen uint8
+	for _, idx := range e.order {
+		l := e.lens[idx]
+		code <<= uint(l - prevLen)
+		e.codes[idx] = code
 		code++
 		prevLen = l
 	}
-	return codes
 }
 
-func sortedSymbols(lengths map[uint32]uint) []uint32 {
-	syms := make([]uint32, 0, len(lengths))
-	for s := range lengths {
-		syms = append(syms, s)
+// encodedSizeBits computes the payload size (excluding the table) for the
+// current histogram without emitting a stream.
+func (e *Encoder) encodedSizeBits(symbols []uint32) uint64 {
+	e.histogram(symbols)
+	e.buildLengths()
+	var bits uint64
+	for i := range e.syms {
+		bits += e.freqs[i] * uint64(e.lens[i])
 	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-	return syms
+	e.clean()
+	return bits
 }
 
-// Encode compresses the symbol sequence. The output stream embeds the code
-// table, so Decode needs no side information.
+var encPool = sync.Pool{New: func() any { return NewEncoder() }}
+
+// Encode compresses the symbol sequence using a pooled Encoder. The output
+// stream embeds the code table, so Decode needs no side information.
 func Encode(symbols []uint32) []byte {
-	freqs := make(map[uint32]uint64)
-	for _, s := range symbols {
-		freqs[s]++
-	}
-	lengths := codeLengths(freqs)
-	codes := canonicalCodes(lengths)
+	e := encPool.Get().(*Encoder)
+	defer encPool.Put(e)
+	return e.Encode(symbols)
+}
 
-	w := bitstream.NewWriter(len(symbols)/2 + 64)
-	// Header: #symbols in alphabet, #symbols in payload.
-	w.WriteBits(uint64(len(lengths)), 32)
-	w.WriteBits(uint64(len(symbols)), 32)
-	for _, s := range sortedSymbols(lengths) {
-		w.WriteBits(uint64(s), 32)
-		w.WriteBits(uint64(lengths[s]), 6)
-	}
-	for _, s := range symbols {
-		w.WriteBits(codes[s], lengths[s])
-	}
-	// Prefix the bit length so Decode can cap its reader.
-	bits := w.BitLen()
-	out := make([]byte, 8, 8+len(w.Bytes()))
-	for i := 0; i < 8; i++ {
-		out[i] = byte(bits >> (56 - 8*i))
-	}
-	return append(out, w.Bytes()...)
+// AppendEncode is Encode appending to dst, using a pooled Encoder.
+func AppendEncode(dst []byte, symbols []uint32) []byte {
+	e := encPool.Get().(*Encoder)
+	defer encPool.Put(e)
+	return e.AppendEncode(dst, symbols)
 }
 
 // EncodedSizeBits estimates the encoded payload size (excluding the table)
@@ -208,117 +435,199 @@ func Encode(symbols []uint32) []byte {
 // surrogate uses the *absence* of this stage; the full compressor uses
 // Encode itself. Exposed for analysis and tests.
 func EncodedSizeBits(symbols []uint32) uint64 {
-	freqs := make(map[uint32]uint64)
-	for _, s := range symbols {
-		freqs[s]++
-	}
-	lengths := codeLengths(freqs)
-	var bits uint64
-	for s, f := range freqs {
-		bits += f * uint64(lengths[s])
-	}
-	return bits
+	e := encPool.Get().(*Encoder)
+	defer encPool.Put(e)
+	return e.encodedSizeBits(symbols)
 }
 
+// tableEntry is one (symbol, code length) pair of a decoded stream table.
+type tableEntry struct {
+	sym uint32
+	len uint8
+}
+
+// Decoder is a reusable canonical Huffman decoder. The zero value is ready
+// to use; Decode may be called repeatedly and reuses the canonical tables.
+// A Decoder is not safe for concurrent use — pool instances instead (the
+// package-level Decode does exactly that).
+type Decoder struct {
+	entries []tableEntry // sorted by (length, symbol): canonical order
+	bySym   []tableEntry // scratch for duplicate detection
+	count   [maxCodeLen + 1]uint32
+	first   [maxCodeLen + 1]uint64
+	base    [maxCodeLen + 1]uint32
+	r       bitstream.Reader
+}
+
+// NewDecoder returns an empty Decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Reset releases the Decoder's retained scratch.
+func (d *Decoder) Reset() { *d = Decoder{} }
+
 // Decode reverses Encode under the default safedec limits.
-func Decode(stream []byte) ([]uint32, error) {
-	return DecodeLimited(stream, safedec.Default())
+func (d *Decoder) Decode(stream []byte) ([]uint32, error) {
+	return d.DecodeLimited(stream, safedec.Default())
 }
 
 // DecodeLimited reverses Encode, refusing (with an error wrapping
 // safedec.ErrLimit) streams whose claimed symbol count would allocate more
-// than lim.MaxAlloc bytes of output.
-func DecodeLimited(stream []byte, lim safedec.Limits) ([]uint32, error) {
+// than lim.MaxAlloc bytes of output. The returned slice is freshly
+// allocated — only the decoder's internal tables are reused.
+func (d *Decoder) DecodeLimited(stream []byte, lim safedec.Limits) ([]uint32, error) {
+	return d.AppendDecodeLimited(nil, stream, lim)
+}
+
+// AppendDecodeLimited is DecodeLimited appending decoded symbols to dst,
+// so a steady-state caller that recycles its output buffer performs no
+// per-call allocation at all. On error the returned slice is dst unchanged.
+func (d *Decoder) AppendDecodeLimited(dst []uint32, stream []byte, lim safedec.Limits) ([]uint32, error) {
 	lim = lim.Norm()
 	if len(stream) < 8 {
-		return nil, fmt.Errorf("%w: missing bit length: %w", ErrCorrupt, safedec.ErrTruncated)
+		return dst, fmt.Errorf("%w: missing bit length: %w", ErrCorrupt, safedec.ErrTruncated)
 	}
 	var bits uint64
 	for i := 0; i < 8; i++ {
 		bits = bits<<8 | uint64(stream[i])
 	}
-	r := bitstream.NewReader(stream[8:], bits)
+	d.r.Reset(stream[8:], bits)
+	r := &d.r
 	nAlpha, err := r.ReadBits(32)
 	if err != nil {
-		return nil, fmt.Errorf("%w: header", ErrCorrupt)
+		return dst, fmt.Errorf("%w: header", ErrCorrupt)
 	}
 	nSyms, err := r.ReadBits(32)
 	if err != nil {
-		return nil, fmt.Errorf("%w: header", ErrCorrupt)
+		return dst, fmt.Errorf("%w: header", ErrCorrupt)
 	}
 	if nAlpha == 0 {
 		if nSyms != 0 {
-			return nil, ErrCorrupt
+			return dst, ErrCorrupt
 		}
-		return []uint32{}, nil
+		if dst == nil {
+			dst = []uint32{}
+		}
+		return dst, nil
 	}
 	// Each table entry consumes 38 bits and each payload symbol at least
 	// one; reject counts the stream cannot possibly back before allocating.
 	if nAlpha*38 > r.Remaining() || nSyms > r.Remaining() {
-		return nil, fmt.Errorf("%w: implausible symbol counts", ErrCorrupt)
+		return dst, fmt.Errorf("%w: implausible symbol counts", ErrCorrupt)
 	}
 	if err := lim.Alloc("huffman symbols", 4*int64(nSyms)); err != nil {
-		return nil, fmt.Errorf("huffman: %w", err)
+		return dst, fmt.Errorf("huffman: %w", err)
 	}
-	lengths := make(map[uint32]uint, nAlpha)
+	d.entries = d.entries[:0]
 	for i := uint64(0); i < nAlpha; i++ {
 		s, err := r.ReadBits(32)
 		if err != nil {
-			return nil, fmt.Errorf("%w: table", ErrCorrupt)
+			return dst, fmt.Errorf("%w: table", ErrCorrupt)
 		}
 		l, err := r.ReadBits(6)
 		if err != nil {
-			return nil, fmt.Errorf("%w: table", ErrCorrupt)
+			return dst, fmt.Errorf("%w: table", ErrCorrupt)
 		}
 		if l == 0 || l > maxCodeLen {
-			return nil, fmt.Errorf("%w: bad code length %d", ErrCorrupt, l)
+			return dst, fmt.Errorf("%w: bad code length %d", ErrCorrupt, l)
 		}
-		lengths[uint32(s)] = uint(l)
+		d.entries = append(d.entries, tableEntry{sym: uint32(s), len: uint8(l)})
 	}
-	codes := canonicalCodes(lengths)
-	// Build reverse map: (length, code) -> symbol.
-	type key struct {
-		len  uint
-		code uint64
+	// Reject duplicate table symbols: the encoder never emits them, and a
+	// canonical table with duplicates has no consistent code assignment.
+	d.bySym = append(d.bySym[:0], d.entries...)
+	slices.SortFunc(d.bySym, func(a, b tableEntry) int {
+		if a.sym < b.sym {
+			return -1
+		}
+		if a.sym > b.sym {
+			return 1
+		}
+		return 0
+	})
+	for i := 1; i < len(d.bySym); i++ {
+		if d.bySym[i].sym == d.bySym[i-1].sym {
+			return dst, fmt.Errorf("%w: duplicate table symbol %d", ErrCorrupt, d.bySym[i].sym)
+		}
 	}
-	rev := make(map[key]uint32, len(codes))
-	for s, c := range codes {
-		rev[key{lengths[s], c}] = s
-	}
+	d.buildTable()
+
 	// Cap the initial allocation: a corrupt header may claim billions of
 	// symbols; the slice grows naturally if the payload really is that big.
 	capHint := nSyms
 	if capHint > 1<<20 {
 		capHint = 1 << 20
 	}
-	out := make([]uint32, 0, capHint)
-	for uint64(len(out)) < nSyms {
+	start := len(dst)
+	dst = slices.Grow(dst, int(capHint))
+	for uint64(len(dst)-start) < nSyms {
 		var code uint64
 		var l uint
 		found := false
-		for l < maxCodeLen+1 {
+		for l < maxCodeLen {
 			b, err := r.ReadBit()
 			if err != nil {
-				return nil, fmt.Errorf("%w: payload", ErrCorrupt)
+				return dst[:start], fmt.Errorf("%w: payload", ErrCorrupt)
 			}
 			code = code<<1 | uint64(b)
 			l++
-			if s, ok := rev[key{l, code}]; ok {
-				out = append(out, s)
+			if cnt := d.count[l]; cnt > 0 && code >= d.first[l] && code-d.first[l] < uint64(cnt) {
+				dst = append(dst, d.entries[d.base[l]+uint32(code-d.first[l])].sym)
 				found = true
 				break
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("%w: no code matched", ErrCorrupt)
+			return dst[:start], fmt.Errorf("%w: no code matched", ErrCorrupt)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
-func min32(a, b uint32) uint32 {
-	if a < b {
-		return a
+// buildTable derives the canonical decode tables from d.entries: entries
+// sorted by (length, symbol) receive consecutive codes, so a read code c of
+// length l maps to entry base[l] + (c - first[l]) whenever that offset is
+// within count[l].
+func (d *Decoder) buildTable() {
+	slices.SortFunc(d.entries, func(a, b tableEntry) int {
+		if a.len != b.len {
+			return int(a.len) - int(b.len)
+		}
+		if a.sym < b.sym {
+			return -1
+		}
+		if a.sym > b.sym {
+			return 1
+		}
+		return 0
+	})
+	for i := range d.count {
+		d.count[i] = 0
 	}
-	return b
+	var code uint64
+	var prevLen uint8
+	for i, e := range d.entries {
+		code <<= uint(e.len - prevLen)
+		if d.count[e.len] == 0 {
+			d.first[e.len] = code
+			d.base[e.len] = uint32(i)
+		}
+		d.count[e.len]++
+		code++
+		prevLen = e.len
+	}
+}
+
+var decPool = sync.Pool{New: func() any { return NewDecoder() }}
+
+// Decode reverses Encode under the default safedec limits, using a pooled
+// Decoder.
+func Decode(stream []byte) ([]uint32, error) {
+	return DecodeLimited(stream, safedec.Default())
+}
+
+// DecodeLimited reverses Encode under lim, using a pooled Decoder.
+func DecodeLimited(stream []byte, lim safedec.Limits) ([]uint32, error) {
+	d := decPool.Get().(*Decoder)
+	defer decPool.Put(d)
+	return d.DecodeLimited(stream, lim)
 }

@@ -1,11 +1,14 @@
 package huffman
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"testing"
 	"testing/quick"
 
+	"carol/internal/bitstream"
+	"carol/internal/safedec"
 	"carol/internal/xrand"
 )
 
@@ -128,19 +131,22 @@ func TestDecodeTruncatedPayload(t *testing.T) {
 }
 
 func TestCanonicalCodesPrefixFree(t *testing.T) {
-	lengths := map[uint32]uint{0: 1, 1: 2, 2: 3, 3: 3}
-	codes := canonicalCodes(lengths)
-	for a, ca := range codes {
-		for b, cb := range codes {
+	// Frequencies chosen to produce lengths {1, 2, 3, 3}.
+	e := NewEncoder()
+	e.histogram([]uint32{0, 0, 0, 0, 1, 1, 2, 3})
+	e.buildLengths()
+	e.assignCodes()
+	for a := range e.syms {
+		for b := range e.syms {
 			if a == b {
 				continue
 			}
-			la, lb := lengths[a], lengths[b]
+			la, lb := e.lens[a], e.lens[b]
 			if la > lb {
 				continue
 			}
-			if cb>>(lb-la) == ca {
-				t.Fatalf("code of %d is a prefix of code of %d", a, b)
+			if e.codes[b]>>uint(lb-la) == e.codes[a] {
+				t.Fatalf("code of %d is a prefix of code of %d", e.syms[a], e.syms[b])
 			}
 		}
 	}
@@ -148,17 +154,98 @@ func TestCanonicalCodesPrefixFree(t *testing.T) {
 
 func TestKraftInequality(t *testing.T) {
 	rng := xrand.New(5)
-	freqs := make(map[uint32]uint64)
+	e := NewEncoder()
 	for i := 0; i < 300; i++ {
-		freqs[uint32(i)] = uint64(rng.Intn(10000) + 1)
+		e.syms = append(e.syms, uint32(i))
+		e.freqs = append(e.freqs, uint64(rng.Intn(10000)+1))
 	}
-	lengths := codeLengths(freqs)
+	e.buildLengths()
 	var kraft float64
-	for _, l := range lengths {
+	for _, l := range e.lens {
 		kraft += math.Pow(2, -float64(l))
 	}
 	if kraft > 1+1e-9 {
 		t.Fatalf("Kraft sum %v > 1", kraft)
+	}
+}
+
+func TestEncoderReuseByteIdentical(t *testing.T) {
+	// One Encoder reused across calls must emit exactly what a fresh
+	// Encoder emits — the pipeline's bit-identity guarantee depends on it.
+	rng := xrand.New(6)
+	e := NewEncoder()
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(3000)
+		alpha := rng.Intn(500) + 1
+		s := make([]uint32, n)
+		for i := range s {
+			s[i] = uint32(rng.Intn(alpha))
+		}
+		got := e.Encode(s)
+		want := NewEncoder().Encode(s)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: reused encoder output differs from fresh encoder", trial)
+		}
+	}
+}
+
+func TestDecoderReuse(t *testing.T) {
+	rng := xrand.New(7)
+	d := NewDecoder()
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(3000)
+		s := make([]uint32, n)
+		for i := range s {
+			s[i] = uint32(rng.Intn(300))
+		}
+		dec, err := d.Decode(Encode(s))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(dec) != len(s) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(dec), len(s))
+		}
+		for i := range s {
+			if dec[i] != s[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSparseSymbolRoundTrip(t *testing.T) {
+	// Symbols at and above denseLimit exercise the map-based histogram path.
+	s := []uint32{denseLimit, denseLimit + 5, 1 << 30, denseLimit, 1 << 30, 3}
+	roundTrip(t, s)
+	// Reused encoder must produce identical bytes on the sparse path too.
+	e := NewEncoder()
+	a := e.Encode(s)
+	b := e.Encode(s)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sparse-path reuse is not byte-identical")
+	}
+}
+
+func TestDuplicateTableSymbolRejected(t *testing.T) {
+	// Hand-build a stream whose table lists the same symbol twice: the
+	// encoder never emits this and the decoder must reject it, not pick one
+	// of the two conflicting code assignments.
+	w := bitstream.NewWriter(64)
+	w.WriteBits(2, 32) // nAlpha
+	w.WriteBits(1, 32) // nSyms
+	w.WriteBits(5, 32) // sym 5, len 1
+	w.WriteBits(1, 6)
+	w.WriteBits(5, 32) // sym 5 again, len 1
+	w.WriteBits(1, 6)
+	w.WriteBit(0) // payload
+	var stream []byte
+	bits := w.BitLen()
+	for i := 0; i < 8; i++ {
+		stream = append(stream, byte(bits>>(56-8*i)))
+	}
+	stream = w.AppendTo(stream)
+	if _, err := Decode(stream); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate table symbol: got %v, want ErrCorrupt", err)
 	}
 }
 
@@ -224,4 +311,45 @@ func BenchmarkDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkEncoderSteadyState(b *testing.B) {
+	// The pipeline hot path: one pooled Encoder appending into a reused
+	// destination buffer. Steady state must be ~0 allocs/op.
+	rng := xrand.New(1)
+	s := make([]uint32, 1<<16)
+	for i := range s {
+		s[i] = uint32(rng.Intn(64))
+	}
+	e := NewEncoder()
+	dst := e.Encode(s) // warm the scratch and size dst
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = e.AppendEncode(dst[:0], s)
+	}
+	_ = dst
+}
+
+func BenchmarkDecoderSteadyState(b *testing.B) {
+	rng := xrand.New(1)
+	s := make([]uint32, 1<<16)
+	for i := range s {
+		s[i] = uint32(rng.Intn(64))
+	}
+	enc := Encode(s)
+	d := NewDecoder()
+	dst, err := d.Decode(enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = d.AppendDecodeLimited(dst[:0], enc, safedec.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = dst
 }

@@ -1,0 +1,416 @@
+// Package pipeline runs block-parallel streaming compression on top of any
+// codec: the field is split into slabs along its slowest-varying axis, each
+// slab is compressed on a bounded worker pool, and the streams are emitted
+// in order onto an io.Writer as they complete — the whole compressed output
+// is never resident at once, and neither is more than a bounded window of
+// in-flight blocks. Decompression mirrors this: block frames are read one
+// at a time, decoded on the pool, and assembled in order.
+//
+// Determinism: block boundaries depend only on (dims, Blocks) and every
+// block is emitted in index order, so the container bytes are identical for
+// any Workers value — parallelism changes wall-clock time, never output.
+// This is what lets BENCH_CODECS.json gate throughput while conformance
+// streams stay stable.
+//
+// The container framing is deliberately sequential-friendly: magic, dims,
+// block count, then length-prefixed block frames back to back. Unlike the
+// chunked package's up-front length table (kept for compatibility), a
+// writer needs no seek and a reader needs no more lookahead than one frame
+// header.
+package pipeline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/safedec"
+)
+
+// Magic identifies pipeline containers ("CPL1").
+var Magic = [4]byte{'C', 'P', 'L', '1'}
+
+// headerLen is the fixed container prefix: magic + nx, ny, nz + nblocks.
+const headerLen = 4 + 4*4
+
+// Options tunes the pipeline. Zero values take defaults.
+type Options struct {
+	// Blocks is the number of slabs the field is split into.
+	// Default: GOMAXPROCS, clamped to the splittable extent.
+	Blocks int
+	// Workers is the number of concurrent codec invocations.
+	// Default: GOMAXPROCS.
+	Workers int
+	// Limits bounds what DecompressStream will allocate or buffer from
+	// container-claimed sizes. Zero-value fields take safedec defaults.
+	Limits safedec.Limits
+}
+
+func (o Options) withDefaults() Options {
+	if o.Blocks <= 0 {
+		o.Blocks = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	o.Limits = o.Limits.Norm()
+	return o
+}
+
+// SlabRanges splits [0, n) into at most k contiguous non-empty ranges. It
+// is the single source of block geometry for this package and the chunked
+// container format, which both re-derive decoder-side dims from it.
+func SlabRanges(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// SplitField cuts f into at most chunks slabs along its slowest-varying
+// non-trivial axis. Slabs alias f's data; no samples are copied.
+func SplitField(f *field.Field, chunks int) []*field.Field {
+	switch {
+	case f.Nz > 1:
+		ranges := SlabRanges(f.Nz, chunks)
+		out := make([]*field.Field, len(ranges))
+		slabSize := f.Nx * f.Ny
+		for i, r := range ranges {
+			out[i] = field.FromData(
+				fmt.Sprintf("%s/z%d", f.Name, i), f.Nx, f.Ny, r[1]-r[0],
+				f.Data[r[0]*slabSize:r[1]*slabSize])
+		}
+		return out
+	case f.Ny > 1:
+		ranges := SlabRanges(f.Ny, chunks)
+		out := make([]*field.Field, len(ranges))
+		for i, r := range ranges {
+			out[i] = field.FromData(
+				fmt.Sprintf("%s/y%d", f.Name, i), f.Nx, r[1]-r[0], 1,
+				f.Data[r[0]*f.Nx:r[1]*f.Nx])
+		}
+		return out
+	default:
+		ranges := SlabRanges(f.Nx, chunks)
+		out := make([]*field.Field, len(ranges))
+		for i, r := range ranges {
+			out[i] = field.FromData(
+				fmt.Sprintf("%s/x%d", f.Name, i), r[1]-r[0], 1, 1,
+				f.Data[r[0]:r[1]])
+		}
+		return out
+	}
+}
+
+// ExpectedSlabDims recomputes encoder slab geometry from container
+// dimensions and block count, so decoders can refuse containers whose
+// decoded blocks claim anything else.
+func ExpectedSlabDims(nx, ny, nz, n int) [][3]int {
+	var ranges [][2]int
+	var mk func(r [2]int) [3]int
+	switch {
+	case nz > 1:
+		ranges = SlabRanges(nz, n)
+		mk = func(r [2]int) [3]int { return [3]int{nx, ny, r[1] - r[0]} }
+	case ny > 1:
+		ranges = SlabRanges(ny, n)
+		mk = func(r [2]int) [3]int { return [3]int{nx, r[1] - r[0], 1} }
+	default:
+		ranges = SlabRanges(nx, n)
+		mk = func(r [2]int) [3]int { return [3]int{r[1] - r[0], 1, 1} }
+	}
+	out := make([][3]int, len(ranges))
+	for i, r := range ranges {
+		out[i] = mk(r)
+	}
+	return out
+}
+
+// result carries one block's outcome from a worker to the in-order
+// consumer.
+type result struct {
+	data *field.Field // decompress direction
+	buf  []byte       // compress direction
+	err  error
+}
+
+// runOrdered drives the block pipeline: launch(i) is called for i in
+// [0, n) on a single launcher goroutine, strictly in index order (it is
+// where sequential work like reading the next input frame belongs); the
+// closure it returns runs on one of at most `workers` pool goroutines; and
+// emit(i, result) is invoked strictly in index order as results become
+// available. At most 2*workers results are buffered ahead of the consumer,
+// so memory stays bounded regardless of how uneven per-block times are.
+// The first error stops useful work; remaining in-flight blocks are
+// drained so no goroutine leaks.
+func runOrdered(n, workers int, launch func(i int) func() result, emit func(i int, r result) error) error {
+	futures := make(chan chan result, 2*workers)
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch := make(chan result, 1)
+			futures <- ch // bounds the reorder window (and launch read-ahead)
+			work := launch(i)
+			sem <- struct{}{} // bounds concurrency before the go statement
+			go func(work func() result, ch chan<- result) {
+				defer func() { <-sem }()
+				ch <- work()
+			}(work, ch)
+		}
+		close(futures)
+	}()
+	var firstErr error
+	i := 0
+	for ch := range futures {
+		r := <-ch
+		if firstErr == nil {
+			if r.err != nil {
+				firstErr = fmt.Errorf("pipeline: block %d: %w", i, r.err)
+			} else if err := emit(i, r); err != nil {
+				firstErr = err
+			}
+		}
+		i++
+	}
+	return firstErr
+}
+
+// Codec runs a compressor.Codec block-parallel behind both the slice-based
+// compressor.Codec interface and the streaming compressor.StreamCodec
+// interface. Its two views are bit-compatible: Compress returns exactly the
+// bytes CompressStream writes.
+type Codec struct {
+	inner compressor.Codec
+	opts  Options
+}
+
+// New wraps inner in a block-pipeline codec.
+func New(inner compressor.Codec, opts Options) *Codec {
+	return &Codec{inner: inner, opts: opts.withDefaults()}
+}
+
+// Inner returns the wrapped codec.
+func (c *Codec) Inner() compressor.Codec { return c.inner }
+
+// Name implements compressor.Codec.
+func (c *Codec) Name() string { return c.inner.Name() }
+
+var (
+	_ compressor.Codec       = (*Codec)(nil)
+	_ compressor.StreamCodec = (*Codec)(nil)
+)
+
+// CompressStream implements compressor.StreamCodec: split, compress blocks
+// on the worker pool, emit frames in order. Peak memory is the field plus
+// O(Workers) compressed blocks.
+func (c *Codec) CompressStream(w io.Writer, f *field.Field, eb float64) error {
+	if err := compressor.ValidateArgs(f, eb); err != nil {
+		return err
+	}
+	slabs := SplitField(f, c.opts.Blocks)
+	var hdr [headerLen]byte
+	copy(hdr[:], Magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(f.Nx))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.Ny))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(f.Nz))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(slabs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pipeline: header write: %w", err)
+	}
+	return runOrdered(len(slabs), c.opts.Workers,
+		func(i int) func() result {
+			slab := slabs[i]
+			return func() result {
+				buf, err := c.inner.Compress(slab, eb)
+				return result{buf: buf, err: err}
+			}
+		},
+		func(i int, r result) error {
+			var lbuf [4]byte
+			binary.LittleEndian.PutUint32(lbuf[:], uint32(len(r.buf)))
+			if _, err := w.Write(lbuf[:]); err != nil {
+				return fmt.Errorf("pipeline: frame write: %w", err)
+			}
+			if _, err := w.Write(r.buf); err != nil {
+				return fmt.Errorf("pipeline: frame write: %w", err)
+			}
+			return nil
+		})
+}
+
+// Compress implements compressor.Codec by streaming into memory.
+func (c *Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(f.SizeBytes() / 4)
+	if err := c.CompressStream(&buf, f, eb); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecompressStream implements compressor.StreamCodec. Frames are read one
+// at a time and decoded on the worker pool; the input is never buffered
+// beyond the bounded in-flight window, and every container-claimed size is
+// validated against the configured limits before it sizes an allocation.
+func (c *Codec) DecompressStream(r io.Reader) (*field.Field, error) {
+	lim := c.opts.Limits
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pipeline: short container header: %w", safedec.ErrTruncated)
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("pipeline: bad container magic: %w", safedec.ErrCorrupt)
+	}
+	nx := int(binary.LittleEndian.Uint32(hdr[4:]))
+	ny := int(binary.LittleEndian.Uint32(hdr[8:]))
+	nz := int(binary.LittleEndian.Uint32(hdr[12:]))
+	n := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if n <= 0 {
+		return nil, fmt.Errorf("pipeline: implausible block count %d: %w", n, safedec.ErrCorrupt)
+	}
+	if err := lim.Count("pipeline blocks", int64(n)); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	// Validate the dims product before field.New computes it; a hostile
+	// header otherwise overflows the multiply or allocates petabytes.
+	if _, err := lim.Elements(nx, ny, nz); err != nil {
+		return nil, fmt.Errorf("pipeline: container dims: %w", err)
+	}
+	want := ExpectedSlabDims(nx, ny, nz, n)
+	if len(want) != n {
+		return nil, fmt.Errorf("pipeline: %d blocks cannot tile a %dx%dx%d field: %w",
+			n, nx, ny, nz, safedec.ErrCorrupt)
+	}
+	f := field.New("pipeline", nx, ny, nz)
+	offsets := make([]int, n+1)
+	for i, d := range want {
+		offsets[i+1] = offsets[i] + d[0]*d[1]*d[2]
+	}
+
+	// Frames are read inside the launch step, which runOrdered runs on a
+	// single goroutine in index order: reads stay sequential, and the
+	// bounded reorder window doubles as bounded read-ahead — a hostile
+	// endless input is never buffered beyond O(Workers) frames, each
+	// individually vetted against lim before its buffer is allocated.
+	var readFailed error
+	failure := func(err error) func() result {
+		return func() result { return result{err: err} }
+	}
+	err := runOrdered(n, c.opts.Workers,
+		func(i int) func() result {
+			if readFailed != nil {
+				return failure(readFailed)
+			}
+			var lbuf [4]byte
+			if _, err := io.ReadFull(r, lbuf[:]); err != nil {
+				readFailed = fmt.Errorf("frame header: %w", safedec.ErrTruncated)
+				return failure(readFailed)
+			}
+			l := int64(binary.LittleEndian.Uint32(lbuf[:]))
+			if err := lim.Alloc("pipeline block", l); err != nil {
+				readFailed = err
+				return failure(readFailed)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				readFailed = fmt.Errorf("frame body: %w", safedec.ErrTruncated)
+				return failure(readFailed)
+			}
+			d := want[i]
+			return func() result {
+				g, err := compressor.DecompressLimited(c.inner, buf, lim)
+				if err != nil {
+					return result{err: err}
+				}
+				if g.Nx != d[0] || g.Ny != d[1] || g.Nz != d[2] {
+					return result{err: fmt.Errorf("block dims %dx%dx%d, want %dx%dx%d: %w",
+						g.Nx, g.Ny, g.Nz, d[0], d[1], d[2], safedec.ErrCorrupt)}
+				}
+				return result{data: g}
+			}
+		},
+		func(i int, res result) error {
+			copy(f.Data[offsets[i]:offsets[i+1]], res.data.Data)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Decompress implements compressor.Codec.
+func (c *Codec) Decompress(stream []byte) (*field.Field, error) {
+	return c.DecompressStream(bytes.NewReader(stream))
+}
+
+// DecompressLimited implements compressor.LimitedDecoder.
+func (c *Codec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field, error) {
+	cc := *c
+	cc.opts.Limits = lim.Norm()
+	return cc.DecompressStream(bytes.NewReader(stream))
+}
+
+// CompressSlabs compresses each slab with codec on a bounded worker pool,
+// returning the per-slab streams in slab order. It is the fan-out primitive
+// the chunked container format builds on.
+func CompressSlabs(codec compressor.Codec, slabs []*field.Field, eb float64, workers int) ([][]byte, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	streams := make([][]byte, len(slabs))
+	err := runOrdered(len(slabs), workers,
+		func(i int) func() result {
+			slab := slabs[i]
+			return func() result {
+				buf, err := codec.Compress(slab, eb)
+				return result{buf: buf, err: err}
+			}
+		},
+		func(i int, r result) error {
+			streams[i] = r.buf
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return streams, nil
+}
+
+// DecompressSlabs decodes each stream with codec under lim on a bounded
+// worker pool, returning decoded slabs in stream order.
+func DecompressSlabs(codec compressor.Codec, chunks [][]byte, lim safedec.Limits, workers int) ([]*field.Field, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lim = lim.Norm()
+	slabs := make([]*field.Field, len(chunks))
+	err := runOrdered(len(chunks), workers,
+		func(i int) func() result {
+			chunk := chunks[i]
+			return func() result {
+				g, err := compressor.DecompressLimited(codec, chunk, lim)
+				return result{data: g, err: err}
+			}
+		},
+		func(i int, r result) error {
+			slabs[i] = r.data
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return slabs, nil
+}

@@ -13,17 +13,18 @@ package sperr
 
 import (
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"carol/internal/bitstream"
 	"carol/internal/compressor"
 	"carol/internal/field"
 	"carol/internal/safedec"
 	"carol/internal/wavelet"
+	"carol/internal/zpool"
 )
 
 // Codec is the SPERR compressor.
@@ -93,40 +94,74 @@ func (r region) children(out []region) []region {
 	return out
 }
 
-// maxTree caches the maximum |coefficient| of every region the coder can
-// visit (encoder side only).
-type maxTree struct {
-	coeffs     []float64
-	nx, ny, nz int
-	cache      map[region]float64
+// qreg pairs a region with its node index in the encoder's max tree, so
+// significance lookups during coding are a single slice load.
+type qreg struct {
+	r    region
+	node int32
 }
 
-func newMaxTree(coeffs []float64, nx, ny, nz int) *maxTree {
-	t := &maxTree{coeffs: coeffs, nx: nx, ny: ny, nz: nz, cache: make(map[region]float64)}
-	t.build(region{0, 0, 0, nx, ny, nz})
-	return t
+// spEncoder holds the reusable SPECK encoder state: the max tree (stored as
+// flat arrays over a breadth-first node enumeration rather than the former
+// map[region]float64, which dominated the compressor's allocation profile)
+// and the coder's working lists. Values are pooled; a zero spEncoder is
+// ready to use.
+type spEncoder struct {
+	regs     []region  // BFS region of each node (build-time scratch)
+	max      []float64 // max |coefficient| of each node's region
+	firstKid []int32   // index of first child; children are contiguous
+	nKids    []uint8
+	queue    []qreg
+	lis      []qreg
+	lsp      []lspEntry
 }
 
-func (t *maxTree) build(r region) float64 {
-	if r.leaf() {
-		return math.Abs(t.coeffs[(r.z*t.ny+r.y)*t.nx+r.x])
-	}
-	var m float64
+var spEncPool = sync.Pool{New: func() any { return &spEncoder{} }}
+
+// buildTree enumerates every region reachable from the root via children()
+// breadth-first and computes each one's max |coefficient| bottom-up. The
+// node numbering is deterministic (children() order), so the coder can
+// carry node indices alongside the regions it splits.
+func (e *spEncoder) buildTree(coeffs []float64, nx, ny, nz int) {
+	e.regs = append(e.regs[:0], region{0, 0, 0, nx, ny, nz})
+	e.firstKid = e.firstKid[:0]
+	e.nKids = e.nKids[:0]
 	var kids [8]region
-	for _, c := range r.children(kids[:0]) {
-		if v := t.build(c); v > m {
-			m = v
+	for i := 0; i < len(e.regs); i++ {
+		r := e.regs[i]
+		if r.leaf() {
+			e.firstKid = append(e.firstKid, -1)
+			e.nKids = append(e.nKids, 0)
+			continue
 		}
+		cs := r.children(kids[:0])
+		e.firstKid = append(e.firstKid, int32(len(e.regs)))
+		e.nKids = append(e.nKids, uint8(len(cs)))
+		e.regs = append(e.regs, cs...)
 	}
-	t.cache[r] = m
-	return m
-}
-
-func (t *maxTree) max(r region) float64 {
-	if r.leaf() {
-		return math.Abs(t.coeffs[(r.z*t.ny+r.y)*t.nx+r.x])
+	n := len(e.regs)
+	if cap(e.max) < n {
+		e.max = make([]float64, n)
+	} else {
+		e.max = e.max[:n]
 	}
-	return t.cache[r]
+	// Children always follow their parent in BFS order, so one reverse scan
+	// sees every child before its parent.
+	for i := n - 1; i >= 0; i-- {
+		r := e.regs[i]
+		if r.leaf() {
+			e.max[i] = math.Abs(coeffs[(r.z*ny+r.y)*nx+r.x])
+			continue
+		}
+		var m float64
+		k0 := e.firstKid[i]
+		for j := k0; j < k0+int32(e.nKids[i]); j++ {
+			if e.max[j] > m {
+				m = e.max[j]
+			}
+		}
+		e.max[i] = m
+	}
 }
 
 // lspEntry is a coefficient that has become significant.
@@ -135,26 +170,30 @@ type lspEntry struct {
 	pass int
 }
 
-// encodeSPECK writes the set-partitioning bit-plane code for coeffs.
-// Returns the per-coefficient quantized magnitudes reconstruction the
-// decoder will arrive at (needed for the outlier pass).
-func encodeSPECK(w *bitstream.Writer, coeffs []float64, nx, ny, nz int, t0 float64, nPasses int) []float64 {
-	tree := newMaxTree(coeffs, nx, ny, nz)
-	recon := make([]float64, len(coeffs))
-	lis := []region{{0, 0, 0, nx, ny, nz}}
-	var lsp []lspEntry
+// encodeSPECK writes the set-partitioning bit-plane code for coeffs and
+// fills recon (len(coeffs), zeroed by the caller) with the per-coefficient
+// quantized magnitudes the decoder will arrive at (needed for the outlier
+// pass). All coder scratch is pooled; the emitted bits are identical to the
+// historical map-based implementation.
+func encodeSPECK(w *bitstream.Writer, recon, coeffs []float64, nx, ny, nz int, t0 float64, nPasses int) {
+	e := spEncPool.Get().(*spEncoder)
+	defer spEncPool.Put(e)
+	e.buildTree(coeffs, nx, ny, nz)
+	e.lis = append(e.lis[:0], qreg{region{0, 0, 0, nx, ny, nz}, 0})
+	lsp := e.lsp[:0]
 	T := t0
 	var kids [8]region
 	for pass := 0; pass < nPasses; pass++ {
-		// Sorting pass.
-		queue := lis
-		lis = lis[:0:0]
+		// Sorting pass: last pass's insignificant list is this pass's queue;
+		// the other buffer collects the still-insignificant sets.
+		e.queue, e.lis = e.lis, e.queue[:0]
+		queue, lis := e.queue, e.lis
 		for qi := 0; qi < len(queue); qi++ {
-			r := queue[qi]
-			if tree.max(r) >= T {
+			qr := queue[qi]
+			if e.max[qr.node] >= T {
 				w.WriteBit(1)
-				if r.leaf() {
-					idx := (r.z*ny+r.y)*nx + r.x
+				if qr.r.leaf() {
+					idx := (qr.r.z*ny+qr.r.y)*nx + qr.r.x
 					v := coeffs[idx]
 					if v < 0 {
 						w.WriteBit(1)
@@ -168,19 +207,23 @@ func encodeSPECK(w *bitstream.Writer, coeffs []float64, nx, ny, nz int, t0 float
 					}
 					recon[idx] = mag
 				} else {
-					queue = append(queue, r.children(kids[:0])...)
+					k0 := e.firstKid[qr.node]
+					for ci, c := range qr.r.children(kids[:0]) {
+						queue = append(queue, qreg{c, k0 + int32(ci)})
+					}
 				}
 			} else {
 				w.WriteBit(0)
-				lis = append(lis, r)
+				lis = append(lis, qr)
 			}
 		}
+		e.queue, e.lis = queue, lis
 		// Refinement pass for previously significant coefficients.
-		for _, e := range lsp {
-			if e.pass == pass {
+		for _, en := range lsp {
+			if en.pass == pass {
 				continue
 			}
-			mag := math.Abs(coeffs[e.idx])
+			mag := math.Abs(coeffs[en.idx])
 			// Bit of |coef| at the current plane.
 			b := uint(0)
 			if math.Mod(mag, 2*T) >= T {
@@ -191,26 +234,37 @@ func encodeSPECK(w *bitstream.Writer, coeffs []float64, nx, ny, nz int, t0 float
 			if b == 0 {
 				step = -step
 			}
-			if recon[e.idx] < 0 {
-				recon[e.idx] -= step
+			if recon[en.idx] < 0 {
+				recon[en.idx] -= step
 			} else {
-				recon[e.idx] += step
+				recon[en.idx] += step
 			}
 		}
 		T /= 2
 	}
-	return recon
+	e.lsp = lsp
 }
 
-// decodeSPECK mirrors encodeSPECK. budget < 0 decodes the whole stream; a
-// non-negative budget stops after that many bits, returning the partial
+// spDecoder holds the reusable SPECK decoder working lists. Values are
+// pooled; a zero spDecoder is ready to use.
+type spDecoder struct {
+	queue []region
+	lis   []region
+	lsp   []lspEntry
+}
+
+var spDecPool = sync.Pool{New: func() any { return &spDecoder{} }}
+
+// decodeSPECK mirrors encodeSPECK, reconstructing into recon (length
+// nx*ny*nz, zeroed by the caller). budget < 0 decodes the whole stream; a
+// non-negative budget stops after that many bits, leaving the partial
 // (embedded-prefix) reconstruction — SPERR's progressive-decode property.
-func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, budget int64) ([]float64, error) {
-	n := nx * ny * nz
-	recon := make([]float64, n)
-	neg := make([]bool, n)
-	lis := []region{{0, 0, 0, nx, ny, nz}}
-	var lsp []lspEntry
+func decodeSPECK(r *bitstream.Reader, recon []float64, nx, ny, nz int, t0 float64, nPasses int, budget int64) error {
+	d := spDecPool.Get().(*spDecoder)
+	defer spDecPool.Put(d)
+	d.lis = append(d.lis[:0], region{0, 0, 0, nx, ny, nz})
+	lsp := d.lsp[:0]
+	defer func() { d.lsp = lsp }()
 	T := t0
 	var kids [8]region
 	var consumed int64
@@ -227,30 +281,31 @@ func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, b
 		return b, err
 	}
 	for pass := 0; pass < nPasses; pass++ {
-		queue := lis
-		lis = lis[:0:0]
+		d.queue, d.lis = d.lis, d.queue[:0]
+		queue, lis := d.queue, d.lis
 		for qi := 0; qi < len(queue); qi++ {
 			rg := queue[qi]
 			bit, err := grab()
 			if err != nil {
+				d.queue, d.lis = queue, lis
 				if budgetHit {
-					return recon, nil
+					return nil
 				}
-				return nil, fmt.Errorf("%w: speck significance: %w", compressor.ErrBadStream, err)
+				return fmt.Errorf("%w: speck significance: %w", compressor.ErrBadStream, err)
 			}
 			if bit == 1 {
 				if rg.leaf() {
 					s, err := grab()
 					if err != nil {
+						d.queue, d.lis = queue, lis
 						if budgetHit {
-							return recon, nil
+							return nil
 						}
-						return nil, fmt.Errorf("%w: speck sign: %w", compressor.ErrBadStream, err)
+						return fmt.Errorf("%w: speck sign: %w", compressor.ErrBadStream, err)
 					}
 					idx := (rg.z*ny+rg.y)*nx + rg.x
-					neg[idx] = s == 1
 					mag := 1.5 * T
-					if neg[idx] {
+					if s == 1 {
 						mag = -mag
 					}
 					recon[idx] = mag
@@ -262,6 +317,7 @@ func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, b
 				lis = append(lis, rg)
 			}
 		}
+		d.queue, d.lis = queue, lis
 		for _, e := range lsp {
 			if e.pass == pass {
 				continue
@@ -269,9 +325,9 @@ func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, b
 			b, err := grab()
 			if err != nil {
 				if budgetHit {
-					return recon, nil
+					return nil
 				}
-				return nil, fmt.Errorf("%w: speck refinement: %w", compressor.ErrBadStream, err)
+				return fmt.Errorf("%w: speck refinement: %w", compressor.ErrBadStream, err)
 			}
 			step := T / 2
 			if b == 0 {
@@ -285,7 +341,7 @@ func decodeSPECK(r *bitstream.Reader, nx, ny, nz int, t0 float64, nPasses int, b
 		}
 		T /= 2
 	}
-	return recon, nil
+	return nil
 }
 
 // outlier is one corrected sample.
@@ -352,16 +408,13 @@ func (*Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
 			nPasses++
 		}
 	}
-	var reconW []float64
-	if nPasses > 0 {
-		reconW = encodeSPECK(w, g.Data, nx, ny, nz, t0, nPasses)
-	} else {
-		reconW = make([]float64, len(g.Data))
-	}
-
-	// Reconstruct to find outliers exactly as the decoder will.
+	// Reconstruct to find outliers exactly as the decoder will: encodeSPECK
+	// writes the quantized-magnitude reconstruction straight into the
+	// (zero-initialized) grid that the inverse transform then runs on.
 	rg := wavelet.NewGrid(nx, ny, nz)
-	copy(rg.Data, reconW)
+	if nPasses > 0 {
+		encodeSPECK(w, rg.Data, g.Data, nx, ny, nz, t0, nPasses)
+	}
 	rg.Inverse(levels)
 	outliers := findOutliers(f.Data, rg.Data, eb)
 
@@ -393,18 +446,11 @@ func (*Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
 	out := compressor.AppendHeader(nil, compressor.Header{
 		Magic: compressor.MagicSPERR, Nx: nx, Ny: ny, Nz: nz, EB: eb,
 	})
-	var zbuf bytes.Buffer
-	zw, err := flate.NewWriter(&zbuf, flate.BestSpeed)
+	out, err := zpool.AppendDeflate(out, payload.Bytes())
 	if err != nil {
-		return nil, fmt.Errorf("sperr: flate init: %w", err)
+		return nil, fmt.Errorf("sperr: flate: %w", err)
 	}
-	if _, err := zw.Write(payload.Bytes()); err != nil {
-		return nil, fmt.Errorf("sperr: flate write: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return nil, fmt.Errorf("sperr: flate close: %w", err)
-	}
-	return append(out, zbuf.Bytes()...), nil
+	return out, nil
 }
 
 // Decompress implements compressor.Codec (default safedec limits).
@@ -453,8 +499,7 @@ func decompress(stream []byte, speckFrac float64, applyOutliers bool, lim safede
 	if maxPayload > lim.MaxAlloc {
 		maxPayload = lim.MaxAlloc
 	}
-	zr := flate.NewReader(bytes.NewReader(rest))
-	payload, err := io.ReadAll(io.LimitReader(zr, maxPayload+1))
+	payload, err := zpool.Inflate(rest, maxPayload+1)
 	if err != nil {
 		return nil, fmt.Errorf("%w: sperr inflate: %w", compressor.ErrBadStream, err)
 	}
@@ -517,22 +562,17 @@ func decompress(stream []byte, speckFrac float64, applyOutliers bool, lim safede
 		return nil, fmt.Errorf("%w: sperr speck bit length", compressor.ErrBadStream)
 	}
 
-	var reconW []float64
+	g := wavelet.NewGrid(h.Nx, h.Ny, h.Nz)
 	if nPasses > 0 {
 		budget := int64(-1)
 		if speckFrac >= 0 && speckFrac < 1 {
 			budget = int64(speckFrac * float64(speckBits))
 		}
 		r := bitstream.NewReader(speckBytes, speckBits)
-		reconW, err = decodeSPECK(r, h.Nx, h.Ny, h.Nz, t0, nPasses, budget)
-		if err != nil {
+		if err := decodeSPECK(r, g.Data, h.Nx, h.Ny, h.Nz, t0, nPasses, budget); err != nil {
 			return nil, err
 		}
-	} else {
-		reconW = make([]float64, n)
 	}
-	g := wavelet.NewGrid(h.Nx, h.Ny, h.Nz)
-	copy(g.Data, reconW)
 	g.Inverse(levels)
 	if applyOutliers {
 		half := h.EB / 2
@@ -585,6 +625,6 @@ func EstimateSampledBits(f *field.Field, eb float64) uint64 {
 		return 8
 	}
 	w := bitstream.NewWriter(len(f.Data) / 2)
-	encodeSPECK(w, g.Data, nx, ny, nz, t0, nPasses)
+	encodeSPECK(w, make([]float64, len(g.Data)), g.Data, nx, ny, nz, t0, nPasses)
 	return w.BitLen()
 }

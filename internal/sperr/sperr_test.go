@@ -82,10 +82,11 @@ func TestSPECKRoundTripAccuracy(t *testing.T) {
 	t0 := math.Pow(2, math.Floor(math.Log2(maxAbs)))
 	nPasses := 14
 	w := newWriter()
-	encRecon := encodeSPECK(w, coeffs, nx, ny, nz, t0, nPasses)
+	encRecon := make([]float64, len(coeffs))
+	encodeSPECK(w, encRecon, coeffs, nx, ny, nz, t0, nPasses)
 	r := newReader(w)
-	decRecon, err := decodeSPECK(r, nx, ny, nz, t0, nPasses, -1)
-	if err != nil {
+	decRecon := make([]float64, len(coeffs))
+	if err := decodeSPECK(r, decRecon, nx, ny, nz, t0, nPasses, -1); err != nil {
 		t.Fatal(err)
 	}
 	finalT := t0 / math.Pow(2, float64(nPasses-1))

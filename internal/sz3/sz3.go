@@ -13,17 +13,15 @@
 package sz3
 
 import (
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 
 	"carol/internal/compressor"
 	"carol/internal/field"
 	"carol/internal/huffman"
 	"carol/internal/safedec"
+	"carol/internal/zpool"
 )
 
 // quantRadius is half the quantizer's code range; residuals quantizing
@@ -230,38 +228,29 @@ func (c *Codec) Compress(f *field.Field, eb float64) ([]byte, error) {
 
 	// Assemble payload: mode byte, anchor count+values, outlier
 	// count+values, Huffman stream; then DEFLATE the lot.
-	var payload bytes.Buffer
-	writeU32 := func(v uint32) {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], v)
-		payload.Write(b[:])
+	payload := make([]byte, 0, 9+4*(len(anchors)+len(outliers))+len(codes))
+	appendU32 := func(v uint32) {
+		payload = binary.LittleEndian.AppendUint32(payload, v)
 	}
-	payload.WriteByte(byte(c.mode))
-	writeU32(uint32(len(anchors)))
+	payload = append(payload, byte(c.mode))
+	appendU32(uint32(len(anchors)))
 	for _, a := range anchors {
-		writeU32(math.Float32bits(a))
+		appendU32(math.Float32bits(a))
 	}
-	writeU32(uint32(len(outliers)))
+	appendU32(uint32(len(outliers)))
 	for _, o := range outliers {
-		writeU32(math.Float32bits(o))
+		appendU32(math.Float32bits(o))
 	}
-	payload.Write(huffman.Encode(codes))
+	payload = huffman.AppendEncode(payload, codes)
 
 	out := compressor.AppendHeader(nil, compressor.Header{
 		Magic: compressor.MagicSZ3, Nx: nx, Ny: ny, Nz: nz, EB: eb,
 	})
-	var zbuf bytes.Buffer
-	zw, err := flate.NewWriter(&zbuf, flate.BestSpeed)
+	out, err := zpool.AppendDeflate(out, payload)
 	if err != nil {
-		return nil, fmt.Errorf("sz3: flate init: %w", err)
+		return nil, fmt.Errorf("sz3: flate: %w", err)
 	}
-	if _, err := zw.Write(payload.Bytes()); err != nil {
-		return nil, fmt.Errorf("sz3: flate write: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return nil, fmt.Errorf("sz3: flate close: %w", err)
-	}
-	return append(out, zbuf.Bytes()...), nil
+	return out, nil
 }
 
 // Decompress implements compressor.Codec (default safedec limits).
@@ -283,8 +272,7 @@ func (*Codec) DecompressLimited(stream []byte, lim safedec.Limits) (*field.Field
 	if maxPayload > lim.MaxAlloc {
 		maxPayload = lim.MaxAlloc
 	}
-	zr := flate.NewReader(bytes.NewReader(rest))
-	payload, err := io.ReadAll(io.LimitReader(zr, maxPayload+1))
+	payload, err := zpool.Inflate(rest, maxPayload+1)
 	if err != nil {
 		return nil, fmt.Errorf("%w: sz3 inflate: %v", compressor.ErrBadStream, err)
 	}

@@ -35,7 +35,11 @@ func mirror(i, n int) int {
 // de-interleaves: x[0:ceil(n/2)] holds the low-pass (approximation) band and
 // x[ceil(n/2):] the high-pass (detail) band. Signals of length < 2 are
 // returned unchanged.
-func Forward1D(x []float64) {
+func Forward1D(x []float64) { forward1D(x, nil) }
+
+// forward1D is Forward1D with caller-provided de-interleave scratch (may be
+// nil); Grid passes one buffer down so per-line transforms allocate nothing.
+func forward1D(x, tmp []float64) {
 	n := len(x)
 	if n < 2 {
 		return
@@ -65,16 +69,19 @@ func Forward1D(x []float64) {
 			x[i] /= kappa
 		}
 	}
-	deinterleave(x)
+	deinterleave(x, tmp)
 }
 
 // Inverse1D reverses Forward1D.
-func Inverse1D(x []float64) {
+func Inverse1D(x []float64) { inverse1D(x, nil) }
+
+// inverse1D is Inverse1D with caller-provided interleave scratch (may be nil).
+func inverse1D(x, tmp []float64) {
 	n := len(x)
 	if n < 2 {
 		return
 	}
-	interleave(x)
+	interleave(x, tmp)
 	for i := 0; i < n; i++ {
 		if i%2 == 0 {
 			x[i] /= kappa
@@ -97,10 +104,13 @@ func Inverse1D(x []float64) {
 	}
 }
 
-func deinterleave(x []float64) {
+func deinterleave(x, tmp []float64) {
 	n := len(x)
 	nLow := (n + 1) / 2
-	tmp := make([]float64, n)
+	if len(tmp) < n {
+		tmp = make([]float64, n)
+	}
+	tmp = tmp[:n]
 	for i := 0; i < n; i++ {
 		if i%2 == 0 {
 			tmp[i/2] = x[i]
@@ -111,10 +121,13 @@ func deinterleave(x []float64) {
 	copy(x, tmp)
 }
 
-func interleave(x []float64) {
+func interleave(x, tmp []float64) {
 	n := len(x)
 	nLow := (n + 1) / 2
-	tmp := make([]float64, n)
+	if len(tmp) < n {
+		tmp = make([]float64, n)
+	}
+	tmp = tmp[:n]
 	for i := 0; i < n; i++ {
 		if i%2 == 0 {
 			tmp[i] = x[i/2]
@@ -160,6 +173,7 @@ func (g *Grid) idx(x, y, z int) int { return (z*g.Ny+y)*g.Nx + x }
 func (g *Grid) Forward(levels int) {
 	nx, ny, nz := g.Nx, g.Ny, g.Nz
 	buf := make([]float64, maxInt(nx, maxInt(ny, nz)))
+	tmp := make([]float64, len(buf))
 	for l := 0; l < levels; l++ {
 		if nx >= 2 {
 			for z := 0; z < nz; z++ {
@@ -167,7 +181,7 @@ func (g *Grid) Forward(levels int) {
 					row := buf[:nx]
 					base := g.idx(0, y, z)
 					copy(row, g.Data[base:base+nx])
-					Forward1D(row)
+					forward1D(row, tmp)
 					copy(g.Data[base:base+nx], row)
 				}
 			}
@@ -179,7 +193,7 @@ func (g *Grid) Forward(levels int) {
 					for y := 0; y < ny; y++ {
 						col[y] = g.Data[g.idx(x, y, z)]
 					}
-					Forward1D(col)
+					forward1D(col, tmp)
 					for y := 0; y < ny; y++ {
 						g.Data[g.idx(x, y, z)] = col[y]
 					}
@@ -193,7 +207,7 @@ func (g *Grid) Forward(levels int) {
 					for z := 0; z < nz; z++ {
 						pil[z] = g.Data[g.idx(x, y, z)]
 					}
-					Forward1D(pil)
+					forward1D(pil, tmp)
 					for z := 0; z < nz; z++ {
 						g.Data[g.idx(x, y, z)] = pil[z]
 					}
@@ -215,6 +229,7 @@ func (g *Grid) Inverse(levels int) {
 		nx, ny, nz = nextDim(nx), nextDim(ny), nextDim(nz)
 	}
 	buf := make([]float64, maxInt(g.Nx, maxInt(g.Ny, g.Nz)))
+	tmp := make([]float64, len(buf))
 	for l := levels - 1; l >= 0; l-- {
 		d := seq[l]
 		if d.nz >= 2 {
@@ -224,7 +239,7 @@ func (g *Grid) Inverse(levels int) {
 					for z := 0; z < d.nz; z++ {
 						pil[z] = g.Data[g.idx(x, y, z)]
 					}
-					Inverse1D(pil)
+					inverse1D(pil, tmp)
 					for z := 0; z < d.nz; z++ {
 						g.Data[g.idx(x, y, z)] = pil[z]
 					}
@@ -238,7 +253,7 @@ func (g *Grid) Inverse(levels int) {
 					for y := 0; y < d.ny; y++ {
 						col[y] = g.Data[g.idx(x, y, z)]
 					}
-					Inverse1D(col)
+					inverse1D(col, tmp)
 					for y := 0; y < d.ny; y++ {
 						g.Data[g.idx(x, y, z)] = col[y]
 					}
@@ -251,7 +266,7 @@ func (g *Grid) Inverse(levels int) {
 					row := buf[:d.nx]
 					base := g.idx(0, y, z)
 					copy(row, g.Data[base:base+d.nx])
-					Inverse1D(row)
+					inverse1D(row, tmp)
 					copy(g.Data[base:base+d.nx], row)
 				}
 			}

@@ -1,0 +1,83 @@
+// Package zpool pools DEFLATE coder state for the lossy compressors' final
+// lossless stage. flate.NewWriter allocates ~650 KiB of window and hash
+// state and flate.NewReader ~50 KiB per call; in a block pipeline those
+// dominated the allocation profile of SZ3 and SPERR. Both directions are
+// drawn from sync.Pools and Reset between uses, so steady-state callers pay
+// only for their own output.
+package zpool
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+// sliceWriter appends to a byte slice through the io.Writer interface so a
+// pooled flate.Writer can emit straight into caller-owned memory.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type deflater struct {
+	zw *flate.Writer
+	sw sliceWriter
+}
+
+var defPool = sync.Pool{New: func() any {
+	zw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		// flate.BestSpeed is a valid level; NewWriter cannot fail on it.
+		panic(err)
+	}
+	return &deflater{zw: zw}
+}}
+
+// AppendDeflate appends data compressed with DEFLATE (BestSpeed, matching
+// the historical per-call flate.NewWriter configuration) to dst and returns
+// the extended slice.
+func AppendDeflate(dst, data []byte) ([]byte, error) {
+	d := defPool.Get().(*deflater)
+	defer defPool.Put(d)
+	d.sw.b = dst
+	d.zw.Reset(&d.sw)
+	if _, err := d.zw.Write(data); err != nil {
+		d.sw.b = nil
+		return dst, err
+	}
+	if err := d.zw.Close(); err != nil {
+		d.sw.b = nil
+		return dst, err
+	}
+	out := d.sw.b
+	d.sw.b = nil // do not retain caller memory in the pool
+	return out, nil
+}
+
+type inflater struct {
+	zr io.ReadCloser
+	br bytes.Reader
+}
+
+var infPool = sync.Pool{New: func() any {
+	i := &inflater{}
+	i.zr = flate.NewReader(&i.br)
+	return i
+}}
+
+// Inflate decompresses data, reading at most limit bytes of output. Callers
+// enforcing a payload bound pass bound+1 and treat len(out) > bound as a
+// decompression bomb, exactly as with io.LimitReader over a fresh
+// flate.Reader.
+func Inflate(data []byte, limit int64) ([]byte, error) {
+	i := infPool.Get().(*inflater)
+	defer infPool.Put(i)
+	i.br.Reset(data)
+	if err := i.zr.(flate.Resetter).Reset(&i.br, nil); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(io.LimitReader(i.zr, limit))
+}

@@ -1,0 +1,97 @@
+package zpool
+
+import (
+	"bytes"
+	"compress/flate"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("the quick brown fox "), 200)
+	enc, err := AppendDeflate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Inflate(enc, int64(len(data))+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestAppendDeflatePreservesPrefix(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	out, err := AppendDeflate(prefix, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	dec, err := Inflate(out[2:], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec) != "payload" {
+		t.Fatalf("got %q", dec)
+	}
+}
+
+func TestInflateMatchesStdlib(t *testing.T) {
+	// Pooled output must be byte-identical to a fresh flate.Writer at the
+	// same level — the codecs' stream stability depends on it.
+	data := bytes.Repeat([]byte{1, 2, 3, 4, 5, 0, 0, 0}, 500)
+	var want bytes.Buffer
+	zw, err := flate.NewWriter(&want, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeat: pooled state must not leak across calls
+		got, err := AppendDeflate(nil, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("iteration %d: pooled deflate differs from stdlib", i)
+		}
+	}
+}
+
+func TestInflateLimit(t *testing.T) {
+	data := make([]byte, 10000)
+	enc, err := AppendDeflate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Inflate(enc, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("limit ignored: got %d bytes", len(out))
+	}
+}
+
+func TestInflateCorrupt(t *testing.T) {
+	if _, err := Inflate([]byte{0xff, 0xff, 0xff, 0xff}, 1<<20); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+}
+
+func TestInflateTruncated(t *testing.T) {
+	enc, err := AppendDeflate(nil, bytes.Repeat([]byte("abc"), 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inflate(enc[:len(enc)/2], 1<<20); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,13 +1,16 @@
 #!/bin/sh
-# benchdiff.sh — compare fresh `make bench-rf` output against the committed
-# BENCH_RF.json baseline and fail on a time-per-op regression.
+# benchdiff.sh — compare fresh `go test -bench` output against one or more
+# committed BENCH_*.json baselines and fail on a time-per-op regression.
 #
 # Usage:
 #   scripts/benchdiff.sh bench-fresh.txt     # compare a `go test -bench` log
-#   scripts/benchdiff.sh -selftest           # prove the gate works both ways
+#   scripts/benchdiff.sh -selftest           # prove the gate works both ways,
+#                                            # once per known baseline format
 #
 # Environment:
-#   BASELINE             baseline JSON (default BENCH_RF.json)
+#   BASELINE             baseline JSON, or a space-separated list of them
+#                        (default BENCH_RF.json); every baseline's "after"
+#                        benchmarks must appear in the fresh log
 #   BENCHDIFF_THRESHOLD  max allowed fresh/baseline ns-per-op ratio
 #                        (default 1.25 = fail on > 25% slowdown)
 #
@@ -34,22 +37,27 @@ usage() {
     exit 2
 }
 
-# baseline_ns: print "name ns_per_op" pairs from the baseline's "after"
-# section, names normalised.
+# baseline_ns: print "name ns_per_op" pairs from the "after" section of every
+# baseline in $BASELINE, names normalised. $BASELINE is intentionally
+# unquoted where it expands: a space-separated list diffs several baselines
+# (e.g. BASELINE="BENCH_RF.json BENCH_CODECS.json") in one run.
 baseline_ns() {
-    awk '
-        /"after":/   { in_after = 1; next }
-        /"summary":/ { in_after = 0 }
-        in_after && /"Benchmark/ {
-            if (match($0, /"Benchmark[^"]*"/) == 0) next
-            name = substr($0, RSTART + 1, RLENGTH - 2)
-            if (match($0, /"ns_per_op": *[0-9]+/) == 0) next
-            ns = substr($0, RSTART, RLENGTH)
-            sub(/.*: */, "", ns)
-            gsub(/all\([0-9]+\)/, "all", name)
-            print name, ns
-        }
-    ' "$BASELINE"
+    for b in $BASELINE; do
+        [ -f "$b" ] || { echo "benchdiff: no such baseline: $b" >&2; exit 2; }
+        awk '
+            /"after":/   { in_after = 1; next }
+            /"summary":/ { in_after = 0 }
+            in_after && /"Benchmark/ {
+                if (match($0, /"Benchmark[^"]*"/) == 0) next
+                name = substr($0, RSTART + 1, RLENGTH - 2)
+                if (match($0, /"ns_per_op": *[0-9]+/) == 0) next
+                ns = substr($0, RSTART, RLENGTH)
+                sub(/.*: */, "", ns)
+                gsub(/all\([0-9]+\)/, "all", name)
+                print name, ns
+            }
+        ' "$b"
+    done
 }
 
 # fresh_ns: print "name ns_per_op" pairs from `go test -bench` output, names
@@ -103,26 +111,44 @@ run_diff() {
     ' "$workdir/base.txt" "$workdir/fresh.txt"
 }
 
-selftest() {
+selftest_one() {
     # Synthesise a bench log from the baseline itself, dressed up with the
-    # -N suffix and all(N) decoration a real run carries: must pass.
+    # -N suffix, an MB/s column and the all(N) decoration a real run
+    # carries: must pass. The MB/s column is what the codec-throughput
+    # format (BENCH_CODECS.json) adds via b.SetBytes; the parser must not
+    # mistake it for ns/op.
     baseline_ns | awk '{
         name = $1
         sub(/workers=all/, "workers=all(8)", name)
-        printf "%s-8 \t       3 \t %d ns/op \t 1234 B/op \t 5 allocs/op\n", name, $2
+        printf "%s-8 \t       3 \t %d ns/op \t 123.45 MB/s \t 1234 B/op \t 5 allocs/op\n", name, $2
     }' >"$workdir/same.txt"
-    echo "== selftest: identical numbers must pass"
+    echo "== selftest [$BASELINE]: identical numbers must pass"
     run_diff "$workdir/same.txt"
     # The same log with every ns/op doubled: must fail.
     awk '{
         for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") { $i = $i * 2; break }
         print
     }' "$workdir/same.txt" >"$workdir/slow.txt"
-    echo "== selftest: 2x slowdown must fail"
+    echo "== selftest [$BASELINE]: 2x slowdown must fail"
     if run_diff "$workdir/slow.txt"; then
-        echo "selftest FAILED: 2x slowdown was not detected" >&2
+        echo "selftest FAILED: 2x slowdown was not detected in $BASELINE" >&2
         exit 1
     fi
+}
+
+selftest() {
+    # Exercise the gate against every committed baseline shape — the rf/model
+    # formats and the codec-throughput format with its slashed sub-benchmark
+    # names and workers=all(N) suffixes — then once against all of them
+    # diffed in a single multi-baseline run.
+    all=""
+    for base in BENCH_RF.json BENCH_MODEL.json BENCH_CODECS.json; do
+        [ -f "$base" ] || continue
+        ( BASELINE=$base; selftest_one )
+        all="$all $base"
+    done
+    [ -n "$all" ] || { echo "selftest: no baselines found" >&2; exit 1; }
+    ( BASELINE=$all; selftest_one )
     echo "== selftest passed"
 }
 

@@ -16,7 +16,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== build"
-go build -o "$bindir" ./cmd/carolserve ./cmd/carolbench ./cmd/caroltrain
+go build -o "$bindir" ./cmd/carolserve ./cmd/carolbench ./cmd/caroltrain ./cmd/carolc
 
 echo "== carolbench -list"
 "$bindir/carolbench" -list
@@ -58,6 +58,35 @@ curl -fsS -o "$workdir/stream.bin" -D "$workdir/headers.txt" \
     --data-binary @"$workdir/field.raw" \
     "http://$addr/v1/compress?codec=szx&rel=1e-3&dims=32x32x1"
 grep -i "X-Carol-Achieved-Ratio" "$workdir/headers.txt"
+
+echo "== streaming CLI path: carolc -stream round trip (CPL1 container)"
+"$bindir/carolc" -stream -compressor sz3 -dims 32x32x1 -eb 1e-3 \
+    -in "$workdir/field.raw" -out "$workdir/field.cpl"
+head -c 4 "$workdir/field.cpl" | grep -q CPL1 || {
+    echo "smoke: carolc -stream did not write a CPL1 container" >&2
+    exit 1
+}
+"$bindir/carolc" -d -compressor sz3 -in "$workdir/field.cpl" -out "$workdir/field.restored"
+restored=$(wc -c <"$workdir/field.restored")
+if [ "$restored" -ne 4096 ]; then
+    echo "smoke: streaming round trip restored $restored bytes, want 4096" >&2
+    exit 1
+fi
+
+echo "== POST /v1/compress?stream=1 (pipeline container) and decompress auto-detect"
+curl -fsS -o "$workdir/stream-cpl.bin" --data-binary @"$workdir/field.raw" \
+    "http://$addr/v1/compress?codec=szx&rel=1e-3&stream=1&dims=32x32x1"
+head -c 4 "$workdir/stream-cpl.bin" | grep -q CPL1 || {
+    echo "smoke: stream=1 did not answer a CPL1 container" >&2
+    exit 1
+}
+curl -fsS -o "$workdir/stream-restored.raw" --data-binary @"$workdir/stream-cpl.bin" \
+    "http://$addr/v1/decompress?codec=szx"
+restored=$(wc -c <"$workdir/stream-restored.raw")
+if [ "$restored" -ne 4096 ]; then
+    echo "smoke: server streaming round trip restored $restored bytes, want 4096" >&2
+    exit 1
+fi
 
 echo "== GET /readyz"
 curl -fsS "http://$addr/readyz"
