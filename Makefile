@@ -10,9 +10,12 @@ vet:
 	go vet ./...
 
 # The repo's own static-analysis suite (internal/analysis): determinism,
-# float discipline and bounded concurrency. See DESIGN.md §9.
+# float discipline, bounded concurrency, and the interprocedural safedec /
+# pooling / metric-label disciplines. See DESIGN.md §9 and §14. Runs twice:
+# production packages, then with _test.go files included.
 lint:
 	go run ./cmd/carollint ./...
+	go run ./cmd/carollint -tests ./...
 
 test:
 	go test ./...

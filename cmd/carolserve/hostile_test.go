@@ -30,7 +30,7 @@ func TestDecompressHostileStreamStatusCodes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { resp.Body.Close() })
+		t.Cleanup(func() { _ = resp.Body.Close() })
 		return resp
 	}
 

@@ -54,7 +54,7 @@ func TestCompressDecompressRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	stream, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("compress: status %d, %v", resp.StatusCode, err)
 	}
@@ -96,7 +96,7 @@ func TestStreamingCompressRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	stream, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("stream compress: status %d, %v", resp.StatusCode, err)
 	}
@@ -134,7 +134,7 @@ func TestStreamingCompressRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("workers=0: status %d, want 400", resp.StatusCode)
 	}
@@ -208,7 +208,7 @@ func TestErrorResponses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != c.want {
 			t.Errorf("%s: status %d, want %d", c.url, resp.StatusCode, c.want)
 		}
@@ -218,7 +218,7 @@ func TestErrorResponses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET compress: status %d", resp.StatusCode)
 	}
@@ -228,7 +228,7 @@ func TestErrorResponses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("garbage decompress: status %d", resp.StatusCode)
 	}

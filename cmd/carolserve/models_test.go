@@ -202,7 +202,7 @@ func TestPredictErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("no-model-dir predict = %d", resp.StatusCode)
 	}
@@ -215,7 +215,7 @@ func TestReadyz(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		return resp.StatusCode
 	}
 	// No model dir: nothing to wait for, ready immediately.
@@ -238,7 +238,7 @@ func TestReadyz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz while not ready = %d", resp.StatusCode)
 	}

@@ -34,7 +34,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("ratio compress status %d", resp.StatusCode)
 	}
@@ -44,7 +44,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("rel compress status %d", resp.StatusCode)
 	}
@@ -144,7 +144,7 @@ func TestSemaphoreThrottles(t *testing.T) {
 				results <- -1
 				return
 			}
-			resp.Body.Close()
+			_ = resp.Body.Close()
 			results <- resp.StatusCode
 		}()
 	}
@@ -161,7 +161,7 @@ func TestSemaphoreThrottles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated request: status %d, want 503", resp.StatusCode)
 	}
@@ -179,7 +179,7 @@ func TestSemaphoreThrottles(t *testing.T) {
 	go func() {
 		resp, err := http.Get(srv.URL + "/healthz")
 		if err == nil {
-			resp.Body.Close()
+			_ = resp.Body.Close()
 		}
 		bypassDone <- err
 	}()
@@ -221,7 +221,7 @@ func TestPanicRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500", resp.StatusCode)
 	}
@@ -234,7 +234,7 @@ func TestPanicRecovery(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			t.Fatal("semaphore leaked on panic unwind")
 		}
@@ -274,8 +274,8 @@ func TestConcurrentLoadAndGracefulShutdown(t *testing.T) {
 				codes <- -1
 				return
 			}
-			io.Copy(io.Discard, resp.Body) //nolint: drain for keep-alive
-			resp.Body.Close()
+			_, _ = io.Copy(io.Discard, resp.Body) // drain for keep-alive
+			_ = resp.Body.Close()
 			codes <- resp.StatusCode
 		}(i)
 	}
@@ -334,7 +334,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 			clientErr <- err
 			return
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			clientErr <- fmt.Errorf("status %d", resp.StatusCode)
 			return

@@ -49,6 +49,12 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's expression/object resolutions.
 	Info *types.Info
+	// Package is the loaded package (syntax, types and directory together);
+	// the dataflow checks build value flows from it.
+	Package *Package
+	// Prog is the module-wide interprocedural view (call graph and
+	// per-function summaries) shared by every pass of one carollint run.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -88,14 +94,26 @@ const directivePrefix = "carol:allow"
 // suppression directives, so a typo cannot silently disable a real check.
 const DirectiveCheck = "directive"
 
-// allowIndex maps file → line → set of suppressed check names.
-type allowIndex map[string]map[int]map[string]bool
+// allowDirective is one parsed suppression entry: one check name of one
+// directive comment. `used` is set when the entry actually suppresses a
+// finding, so stale directives can be flagged.
+type allowDirective struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
+// allowIndex maps file → line → check name → the directive entries that
+// cover that line for that check.
+type allowIndex map[string]map[int]map[string][]*allowDirective
 
 // buildAllowIndex scans the comments of every file for suppression
 // directives. known is the set of valid check names; directives naming
-// anything else produce a DirectiveCheck diagnostic.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File, known map[string]bool) (allowIndex, []Diagnostic) {
+// anything else produce a DirectiveCheck diagnostic. The flat entry list is
+// returned alongside the line index so the runner can report unused ones.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File, known map[string]bool) (allowIndex, []*allowDirective, []Diagnostic) {
 	idx := make(allowIndex)
+	var entries []*allowDirective
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -131,27 +149,34 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File, known map[string]bo
 						})
 						continue
 					}
+					entry := &allowDirective{pos: pos, check: name}
+					entries = append(entries, entry)
 					file := idx[pos.Filename]
 					if file == nil {
-						file = make(map[int]map[string]bool)
+						file = make(map[int]map[string][]*allowDirective)
 						idx[pos.Filename] = file
 					}
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						if file[line] == nil {
-							file[line] = make(map[string]bool)
+							file[line] = make(map[string][]*allowDirective)
 						}
-						file[line][name] = true
+						file[line][name] = append(file[line][name], entry)
 					}
 				}
 			}
 		}
 	}
-	return idx, bad
+	return idx, entries, bad
 }
 
-// suppressed reports whether d is covered by an allow directive.
+// suppressed reports whether d is covered by an allow directive, marking
+// the covering entries used.
 func (idx allowIndex) suppressed(d Diagnostic) bool {
-	return idx[d.Pos.Filename][d.Pos.Line][d.Check]
+	covering := idx[d.Pos.Filename][d.Pos.Line][d.Check]
+	for _, entry := range covering {
+		entry.used = true
+	}
+	return len(covering) > 0
 }
 
 // RunChecks applies the analyzers to one loaded package, honors allow
@@ -159,8 +184,10 @@ func (idx allowIndex) suppressed(d Diagnostic) bool {
 // knownChecks names every check a directive may legitimately reference
 // (usually Names(All()) even when running a subset, so an allow for an
 // analyzer that is not currently selected is not reported as a typo).
-func RunChecks(pkg *Package, analyzers []*Analyzer, knownChecks map[string]bool) ([]Diagnostic, error) {
-	idx, diags := buildAllowIndex(pkg.Fset, pkg.Files, knownChecks)
+// A directive whose check DID run but suppressed nothing is reported as an
+// unused directive — stale allows hide future regressions.
+func RunChecks(prog *Program, pkg *Package, analyzers []*Analyzer, knownChecks map[string]bool) ([]Diagnostic, error) {
+	idx, entries, diags := buildAllowIndex(pkg.Fset, pkg.Files, knownChecks)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -168,6 +195,8 @@ func RunChecks(pkg *Package, analyzers []*Analyzer, knownChecks map[string]bool)
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Package:  pkg,
+			Prog:     prog,
 			report: func(d Diagnostic) {
 				if !idx.suppressed(d) {
 					diags = append(diags, d)
@@ -176,6 +205,16 @@ func RunChecks(pkg *Package, analyzers []*Analyzer, knownChecks map[string]bool)
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	ran := Names(analyzers)
+	for _, entry := range entries {
+		if ran[entry.check] && !entry.used {
+			diags = append(diags, Diagnostic{
+				Pos:     entry.pos,
+				Check:   DirectiveCheck,
+				Message: fmt.Sprintf("unused carol:allow directive: %s reports nothing here", entry.check),
+			})
 		}
 	}
 	return dedupeSort(diags), nil

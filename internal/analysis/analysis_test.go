@@ -50,7 +50,7 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer) (*Package, []D
 	for _, terr := range pkg.TypeErrors {
 		t.Errorf("fixture %s: type error: %v", name, terr)
 	}
-	diags, err := RunChecks(pkg, analyzers, Names(All()))
+	diags, err := RunChecks(fixtureLoader(t).Program(), pkg, analyzers, Names(All()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,6 +149,21 @@ func TestErrDropGolden(t *testing.T) {
 	checkGolden(t, pkg, diags)
 }
 
+func TestTaintAllocGolden(t *testing.T) {
+	pkg, diags := runFixture(t, "taintalloc", []*Analyzer{TaintAlloc})
+	checkGolden(t, pkg, diags)
+}
+
+func TestPoolResetGolden(t *testing.T) {
+	pkg, diags := runFixture(t, "poolreset", []*Analyzer{PoolReset})
+	checkGolden(t, pkg, diags)
+}
+
+func TestMetricLabelGolden(t *testing.T) {
+	pkg, diags := runFixture(t, "metriclabel", []*Analyzer{MetricLabel})
+	checkGolden(t, pkg, diags)
+}
+
 // TestAllowSuppression runs the full suite over a fixture whose violations
 // are all annotated; nothing may be reported.
 func TestAllowSuppression(t *testing.T) {
@@ -180,7 +195,7 @@ func TestEmptyDirective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, bad := buildAllowIndex(fset, []*ast.File{f}, Names(All()))
+	_, _, bad := buildAllowIndex(fset, []*ast.File{f}, Names(All()))
 	if len(bad) != 1 || !strings.Contains(bad[0].Message, "without check names") {
 		t.Fatalf("want one empty-directive diagnostic, got %v", bad)
 	}

@@ -1,6 +1,9 @@
 package analysis
 
-// All returns the full carollint suite in reporting order.
+// All returns the full carollint suite in reporting order: the five
+// determinism/hygiene checks from PR 2 plus the four interprocedural
+// dataflow checks (taintalloc, poolreset, metriclabel, and gopool's
+// summary-aware upgrade rides on the original gopool entry).
 func All() []*Analyzer {
-	return []*Analyzer{GlobalRand, FloatEq, MapOrder, GoPool, ErrDrop}
+	return []*Analyzer{GlobalRand, FloatEq, MapOrder, GoPool, ErrDrop, TaintAlloc, PoolReset, MetricLabel}
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"regexp"
 )
 
@@ -19,6 +20,13 @@ import (
 //     semaphore pattern (the acquire may live inside the spawned closure;
 //     that bounds concurrent work rather than goroutine creation, which is
 //     the resource this check cares about).
+//
+// The check is interprocedural: a call to a helper whose summary says it
+// launches an unjoined goroutine per invocation (SpawnsPerCall) counts as a
+// launch site, so fan-out hidden behind a launcher function is still
+// caught; conversely, launchers that coordinate through channels or a
+// WaitGroup (internal/pipeline's runOrdered) summarize as bounded and need
+// no allow directive at their call sites.
 //
 // Anything else needs restructuring onto a worker pool, or an explicit
 // //carol:allow gopool with the reason the fan-out is bounded.
@@ -56,9 +64,49 @@ func (p *Pass) walkGoPool(n ast.Node, loop ast.Node) {
 			if loop != nil && !p.loopBounded(loop) {
 				p.Reportf(c.Pos(), "goroutine launched per loop iteration with no bound: use a Config.Workers-sized pool or a semaphore channel")
 			}
+			// The spawned call itself is accounted for by the GoStmt above;
+			// don't double-report it as a spawning helper call — but keep
+			// descending into the closure body and the arguments.
+			if c.Call != nil {
+				p.walkGoPool(c.Call.Fun, loop)
+				p.walkGoPoolCalls(c.Call.Args, loop)
+			}
+			return false
+		case *ast.CallExpr:
+			if loop != nil && p.spawnsPerCallHelper(c) && !p.loopBounded(loop) {
+				name := "helper"
+				if fn, ok := objectOf(p.Info, c.Fun).(*types.Func); ok {
+					name = fn.Name()
+				}
+				p.Reportf(c.Pos(), "%s launches an unjoined goroutine per call; calling it per loop iteration is unbounded fan-out", name)
+			}
 		}
 		return true
 	})
+}
+
+// walkGoPoolCalls re-inspects argument expressions skipped when a GoStmt
+// short-circuits descent.
+func (p *Pass) walkGoPoolCalls(args []ast.Expr, loop ast.Node) {
+	for _, a := range args {
+		p.walkGoPool(a, loop)
+	}
+}
+
+// spawnsPerCallHelper consults the interprocedural summary: does the callee
+// launch a goroutine per invocation with no visible join?
+func (p *Pass) spawnsPerCallHelper(call *ast.CallExpr) bool {
+	if p.Prog == nil {
+		return false
+	}
+	fn, ok := objectOf(p.Info, call.Fun).(*types.Func)
+	if !ok {
+		return false
+	}
+	if _, decl := p.Prog.DeclOf(fn); decl == nil {
+		return false
+	}
+	return p.Prog.Summary(fn).SpawnsPerCall
 }
 
 // loopBounded reports whether the loop's fan-out is visibly bounded.

@@ -56,6 +56,7 @@ type Loader struct {
 	ctxt         build.Context
 	pkgs         map[string]*Package // keyed by import path
 	loading      map[string]bool     // cycle guard
+	prog         *Program            // lazy interprocedural view (Program())
 }
 
 // NewLoader returns a loader rooted at the module directory modRoot whose

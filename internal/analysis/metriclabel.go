@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricLabel reports request-derived strings used as internal/obs metric
+// label values or metric names. Label cardinality must stay finite: a label
+// minted from r.URL.Path or a query parameter lets every request create a
+// new time series, which is an unbounded-memory bug in the metrics registry
+// (exactly what obs's bounded-cardinality design exists to prevent).
+//
+// Taint enters through *http.Request, http.Header, url.Values and *url.URL
+// reads and propagates like taintalloc's stream facts. It is cleared by the
+// finite-set idioms: a switch on the value, an equality comparison, or a
+// comma-ok map membership test — each pins the label to a constant set.
+// Summaries make the check interprocedural: a helper whose parameter flows
+// into obs.Label taints its call sites.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc: "flags obs metric label values and metric names derived from " +
+		"request input; map them through a finite constant set first",
+	Run: runMetricLabel,
+}
+
+func runMetricLabel(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fl := newFlow(p.Prog, p.Package, domRequest, fd.Name.Name, paramObjects(p.Package, fd), fd.Body)
+			for _, sink := range labelSinks(fl, fd.Body) {
+				if sink.mask&(1<<sourceBit) != 0 {
+					p.Reportf(sink.arg.Pos(), "metric label derived from request input: unbounded cardinality; map the value through a finite constant set")
+				}
+			}
+			p.taintedLabelCalls(fl, fd.Body)
+		}
+	}
+	return nil
+}
+
+// taintedLabelCalls reports request-derived strings handed to helpers whose
+// summaries flow that parameter into a metric label.
+func (p *Pass) taintedLabelCalls(fl *flow, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sum, args := p.Prog.callSummary(p.Package, call)
+		if sum == nil {
+			return true
+		}
+		for pos, arg := range args {
+			if arg == nil || pos >= len(sum.Labels) || !sum.Labels[pos] {
+				continue
+			}
+			if fl.exprMask(arg)&(1<<sourceBit) != 0 {
+				name := "helper"
+				if fn, ok := objectOf(p.Info, call.Fun).(*types.Func); ok {
+					name = fn.Name()
+				}
+				p.Reportf(arg.Pos(), "request-derived value passed to %s, which uses it as a metric label; map it through a finite constant set first", name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TaintAlloc reports allocation sizes derived from a compressed stream that
+// reach make/Grow without a bounds check. PR 4's threat model: container
+// headers are attacker-controlled, so every length, count or dimension read
+// off a stream must pass a safedec.Limits method (Alloc/Count/Elements) or
+// an explicit comparison before memory is allocated from it — otherwise a
+// 20-byte hostile header can demand petabytes.
+//
+// Taint enters through bitstream/safedec reads, encoding/binary decodes,
+// and the []byte parameters of Decompress/Decode/Parse/Unmarshal/Inflate-
+// shaped functions. It propagates through locals, composite literals,
+// arithmetic, and helper calls (via per-function summaries), and is cleared
+// by any comparison outside a for-condition, a safedec.Limits call, a
+// switch tag, or a call to a helper whose summary validates the parameter.
+// The check is interprocedural in both directions: a tainted value passed
+// to a helper that allocates it unchecked is reported at the call site, and
+// a value validated inside a helper is clean in the caller.
+var TaintAlloc = &Analyzer{
+	Name: "taintalloc",
+	Doc: "flags allocation sizes derived from compressed-stream input with " +
+		"no safedec.Limits check or bound comparison on any path",
+	Run: runTaintAlloc,
+}
+
+func runTaintAlloc(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fl := newFlow(p.Prog, p.Package, domStream, fd.Name.Name, paramObjects(p.Package, fd), fd.Body)
+			for _, sink := range allocSinks(fl, fd.Body) {
+				if sink.mask&(1<<sourceBit) != 0 {
+					p.Reportf(sink.arg.Pos(), "allocation size derived from compressed stream without a safedec.Limits check or bound comparison")
+				}
+			}
+			p.taintedCalls(fl, fd.Body)
+		}
+	}
+	return nil
+}
+
+// taintedCalls reports stream-derived values handed to helpers whose
+// summaries allocate that parameter unchecked.
+func (p *Pass) taintedCalls(fl *flow, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sum, args := p.Prog.callSummary(p.Package, call)
+		if sum == nil {
+			return true
+		}
+		for pos, arg := range args {
+			if arg == nil || pos >= len(sum.AllocsUnchecked) || !sum.AllocsUnchecked[pos] {
+				continue
+			}
+			if fl.exprMask(arg)&(1<<sourceBit) != 0 {
+				name := "helper"
+				if fn, ok := objectOf(p.Info, call.Fun).(*types.Func); ok {
+					name = fn.Name()
+				}
+				p.Reportf(arg.Pos(), "stream-derived size passed to %s, which allocates from it unchecked; validate with safedec.Limits first", name)
+			}
+		}
+		return true
+	})
+}

@@ -3,7 +3,13 @@
 // nothing here.
 package allow
 
-import "sync"
+import (
+	"encoding/binary"
+	"net/url"
+	"sync"
+
+	"carol/internal/obs"
+)
 
 func trailing(a, b float64) bool {
 	return a == b //carol:allow floateq fixture: trailing-directive placement
@@ -17,9 +23,10 @@ func lineAbove(a, b float32) bool {
 func multi(m map[string]float64) []float64 {
 	var out []float64
 	var s float64
+	hits := make(map[bool]float64)
 	for _, v := range m {
 		out = append(out, v) //carol:allow maporder fixture: consumer sorts later
-		s += v               //carol:allow maporder,floateq fixture: comma-separated list
+		hits[s == v] += v    //carol:allow maporder,floateq fixture: comma-separated list
 	}
 	_ = s
 	return out
@@ -36,4 +43,41 @@ func fanOut(items []int, f func(int)) {
 		}(it)
 	}
 	wg.Wait()
+}
+
+func spawnHelper(f func()) { go f() }
+
+func helperFanOut(items []int, f func(int)) {
+	for _, it := range items {
+		it := it
+		spawnHelper(func() { f(it) }) //carol:allow gopool fixture: item count is bounded by the caller
+	}
+}
+
+func allowTaint(stream []byte) []byte {
+	n, _ := binary.Uvarint(stream)
+	return make([]byte, n) //carol:allow taintalloc fixture: caller enforces the bound
+}
+
+type pooled struct{ buf []byte }
+
+var pool = sync.Pool{New: func() any { return new(pooled) }}
+
+func allowPoolGet(data []byte) int {
+	s := pool.Get().(*pooled) //carol:allow poolreset fixture: scratch is read-only here
+	defer pool.Put(s)
+	return len(s.buf) + len(data)
+}
+
+func allowPoolPut(data []byte) int {
+	s := pool.Get().(*pooled)
+	s.buf = data
+	n := len(s.buf)
+	pool.Put(s) //carol:allow poolreset fixture: caller owns the retained buffer
+	return n
+}
+
+func allowLabel(q url.Values) {
+	codec := q.Get("codec")
+	obs.Default.Counter(obs.Label("x_total", "codec", codec)).Inc() //carol:allow metriclabel fixture: cardinality bounded upstream
 }

@@ -5,3 +5,7 @@ package badallow
 func typo(a, b float64) bool {
 	return a == b //carol:allow floateqq typo'd check name // want `floating-point == comparison` `carol:allow names unknown check "floateqq"`
 }
+
+func stale(a, b float64) float64 {
+	return a + b //carol:allow floateq stale: nothing to suppress here; want `unused carol:allow directive`
+}

@@ -126,3 +126,41 @@ func perBlockSpawn(blocks []int, work func(int) result) []result {
 	wg.Wait()
 	return out
 }
+
+// spawner launches an unjoined goroutine per call — the SpawnsPerCall
+// summary marks it, so calls from unbounded loops are launch sites.
+func spawner(f func()) {
+	go f()
+}
+
+// Calling a spawning helper per iteration of an unbounded loop is the same
+// fan-out as an inline go statement: reported interprocedurally.
+func helperFanOut(items []int, f func(int)) {
+	for _, it := range items {
+		it := it
+		spawner(func() { f(it) }) // want `spawner launches an unjoined goroutine per call`
+	}
+}
+
+// runOrdered is internal/pipeline's launcher shape: goroutines coordinate
+// through channels, so the summary is bounded and call sites need no allow
+// directive.
+func runOrdered(n int, f func(int)) {
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { // channel-coordinated: fine
+			f(i)
+			results <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-results
+	}
+}
+
+// Calling a bounded launcher in a loop: fine.
+func launcherBounded(blocks []int, f func(int)) {
+	for range blocks {
+		runOrdered(4, f)
+	}
+}

@@ -1,0 +1,63 @@
+// Package metriclabel is a carollint golden fixture: obs metric label
+// values must come from finite constant sets, never raw request strings —
+// with the finite-set idioms (switch, map membership) and helper flows
+// (Labels and Validates summaries) recognized interprocedurally.
+package metriclabel
+
+import (
+	"net/url"
+
+	"carol/internal/obs"
+)
+
+// A raw query parameter as a label value: unbounded cardinality, reported.
+func recordRaw(q url.Values) {
+	codec := q.Get("codec")
+	obs.Default.Counter(obs.Label("requests_total", "codec", codec)).Inc() // want `metric label derived from request input`
+}
+
+// A switch pins the value to a finite set: clean.
+func recordSwitched(q url.Values) {
+	codec := q.Get("codec")
+	switch codec {
+	case "szx", "zfp":
+	default:
+		codec = "other"
+	}
+	obs.Default.Counter(obs.Label("requests_total", "codec", codec)).Inc()
+}
+
+var knownCodecs = map[string]bool{"szx": true, "zfp": true}
+
+// A comma-ok map membership test pins the value: clean.
+func recordMember(q url.Values) {
+	codec := q.Get("codec")
+	if _, ok := knownCodecs[codec]; !ok {
+		return
+	}
+	obs.Default.Counter(obs.Label("requests_total", "codec", codec)).Inc()
+}
+
+// bump's parameter flows into a label value; the summary taints its call
+// sites.
+func bump(codec string) {
+	obs.Default.Counter(obs.Label("requests_total", "codec", codec)).Inc()
+}
+
+// Request taint reaching a labeling helper: reported at the call site.
+func recordViaHelper(q url.Values) {
+	bump(q.Get("codec")) // want `request-derived value passed to bump`
+}
+
+// normalize pins its result to a finite set, so the helper chain is clean.
+func normalize(codec string) string {
+	switch codec {
+	case "szx", "zfp", "sz3", "sperr":
+		return codec
+	}
+	return "other"
+}
+
+func recordNormalized(q url.Values) {
+	bump(normalize(q.Get("codec")))
+}

@@ -1,0 +1,79 @@
+// Package poolreset is a carollint golden fixture: sync.Pool objects must
+// be reset between Get and use, and must not retain caller-visible memory
+// across Put — directly or through helper methods (interprocedural
+// Resets/Clears/Stores summaries).
+package poolreset
+
+import "sync"
+
+type scratch struct {
+	buf []byte
+	n   int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Get with no reset anywhere in the function: reported.
+func noReset(data []byte) int {
+	s := pool.Get().(*scratch) // want `pooled object is not reset between Get and use`
+	defer pool.Put(s)
+	return s.n + len(data)
+}
+
+// A field write counts as re-initialization: clean.
+func fieldReset(data []byte) int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	s.n = len(data)
+	return s.n
+}
+
+// Parking a caller slice in the pooled object and Putting it back: the
+// pool retains (and leaks to the next user) the caller's memory.
+func retains(data []byte) int {
+	s := pool.Get().(*scratch)
+	s.buf = data
+	n := len(s.buf)
+	pool.Put(s) // want `pooled object retains caller-visible memory across Put`
+	return n
+}
+
+// The same path with a nil-out before Put: clean.
+func clears(data []byte) int {
+	s := pool.Get().(*scratch)
+	s.buf = data
+	n := len(s.buf)
+	s.buf = nil
+	pool.Put(s)
+	return n
+}
+
+// rearm re-initializes the scratch but parks the caller's slice in it.
+func (s *scratch) rearm(buf []byte) {
+	s.buf = buf
+	s.n = 0
+}
+
+// done releases the parked slice.
+func (s *scratch) done() { s.buf = nil }
+
+// Reset and clear both delegated to helpers (interprocedural summaries):
+// clean.
+func viaHelpers(data []byte) int {
+	s := pool.Get().(*scratch)
+	s.rearm(data)
+	n := len(s.buf)
+	s.done()
+	pool.Put(s)
+	return n
+}
+
+// The helper's Stores summary carries the retention to the caller, which
+// never clears it: reported at the Put.
+func viaHelperRetains(data []byte) int {
+	s := pool.Get().(*scratch)
+	s.rearm(data)
+	n := len(s.buf)
+	pool.Put(s) // want `pooled object retains caller-visible memory across Put`
+	return n
+}

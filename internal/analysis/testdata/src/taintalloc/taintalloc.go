@@ -1,0 +1,85 @@
+// Package taintalloc is a carollint golden fixture: allocation sizes
+// derived from a compressed stream must pass a safedec.Limits check or an
+// explicit comparison before reaching make — including across helper
+// calls in both directions (tainted result, validated parameter,
+// unchecked allocation in a callee).
+package taintalloc
+
+import (
+	"encoding/binary"
+
+	"carol/internal/safedec"
+)
+
+// An unchecked stream-claimed length reaching make: reported.
+func decodeUnchecked(stream []byte) []byte {
+	n, _ := binary.Uvarint(stream)
+	return make([]byte, n) // want `allocation size derived from compressed stream`
+}
+
+// The same path guarded by an explicit comparison: clean.
+func decodeCompared(stream []byte) []byte {
+	n, _ := binary.Uvarint(stream)
+	if n > 1<<20 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// The same path guarded by safedec.Limits: clean.
+func decodeLimited(stream []byte, lim safedec.Limits) []byte {
+	n, _ := binary.Uvarint(stream)
+	if err := lim.Alloc("payload", int64(n)); err != nil {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// Taint propagates through locals and arithmetic.
+func decodeViaLocal(stream []byte) []uint32 {
+	hdr := binary.LittleEndian.Uint32(stream)
+	count := int(hdr) * 4
+	return make([]uint32, count) // want `allocation size derived from compressed stream`
+}
+
+// readLen's result derives from a stream read; the summary carries the
+// taint back to every caller.
+func readLen(stream []byte) int {
+	n, _ := binary.Uvarint(stream)
+	return int(n)
+}
+
+// Taint survives a helper's return value (interprocedural result summary).
+func decodeViaHelper(stream []byte) []byte {
+	return make([]byte, readLen(stream)) // want `allocation size derived from compressed stream`
+}
+
+// checkLen validates its parameter; the summary says so.
+func checkLen(n int, lim safedec.Limits) bool {
+	return lim.Alloc("n", int64(n)) == nil
+}
+
+// The check happens in a helper: the interprocedural Validates summary —
+// not syntax — makes this path clean.
+func decodeHelperChecked(stream []byte, lim safedec.Limits) []byte {
+	n := readLen(stream)
+	if !checkLen(n, lim) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// grow allocates its parameter with no check of its own.
+func grow(n int) []byte { return make([]byte, n) }
+
+// The allocation happens in a helper: passing an unchecked stream length
+// to it is reported at the call site.
+func decodeHelperAlloc(stream []byte) []byte {
+	return grow(readLen(stream)) // want `stream-derived size passed to grow`
+}
+
+// A clamped size is bounded regardless of the stream value.
+func decodeClamped(stream []byte) []byte {
+	n := readLen(stream)
+	return make([]byte, min(n, 4096))
+}

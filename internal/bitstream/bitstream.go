@@ -183,6 +183,22 @@ func (r *Reader) Reset(buf []byte, bitLen uint64) {
 	*r = Reader{buf: buf, max: m}
 }
 
+// Release drops the Reader's reference to its buffer. Pooled owners call it
+// before Put so a decoder sitting in a sync.Pool does not pin the caller's
+// stream; the Reader stays valid and is re-armed by the next Reset. Reads
+// after Release (and before a Reset) fail with ErrShortStream.
+func (r *Reader) Release() {
+	r.buf = nil
+	r.max = 0
+	r.read = 0
+	r.pos = 0
+	r.n = 0
+}
+
+// Released reports whether the Reader currently holds no buffer reference —
+// the state pooled decoders must be in when they go back to their pool.
+func (r *Reader) Released() bool { return r.buf == nil }
+
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (uint, error) {
 	if r.read >= r.max {

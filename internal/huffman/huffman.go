@@ -628,6 +628,12 @@ func Decode(stream []byte) ([]uint32, error) {
 // DecodeLimited reverses Encode under lim, using a pooled Decoder.
 func DecodeLimited(stream []byte, lim safedec.Limits) ([]uint32, error) {
 	d := decPool.Get().(*Decoder)
-	defer decPool.Put(d)
+	defer func() {
+		// The decode armed d.r on the caller's stream; drop that reference
+		// before the Decoder goes back to the pool, or the pool pins the
+		// caller's buffer alive indefinitely.
+		d.r.Release()
+		decPool.Put(d)
+	}()
 	return d.DecodeLimited(stream, lim)
 }

@@ -353,3 +353,22 @@ func BenchmarkDecoderSteadyState(b *testing.B) {
 	}
 	_ = dst
 }
+
+// TestDecodePoolRetention is the regression test for the pooled-decoder
+// leak carollint's poolreset analyzer found: the package-level decode
+// wrappers must not return a Decoder to the pool while its bit reader
+// still references the caller's stream. Under the race detector sync.Pool
+// drops Puts at random, in which case Get hands back a fresh (released)
+// Decoder and the assertion holds vacuously; in normal runs it sees the
+// exact object the decode just pooled.
+func TestDecodePoolRetention(t *testing.T) {
+	stream := Encode([]uint32{1, 2, 3, 4, 5, 6, 7, 8, 2, 2, 2})
+	if _, err := Decode(stream); err != nil {
+		t.Fatal(err)
+	}
+	d := decPool.Get().(*Decoder) //carol:allow poolreset test inspects pooled state without using it
+	defer decPool.Put(d)
+	if !d.r.Released() {
+		t.Fatal("pooled Decoder still references the caller's stream after Decode")
+	}
+}

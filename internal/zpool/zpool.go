@@ -74,7 +74,12 @@ var infPool = sync.Pool{New: func() any {
 // flate.Reader.
 func Inflate(data []byte, limit int64) ([]byte, error) {
 	i := infPool.Get().(*inflater)
-	defer infPool.Put(i)
+	defer func() {
+		// Drop the reference to the caller's input before pooling, or the
+		// pool keeps data alive (and visible to the next user) across calls.
+		i.br.Reset(nil)
+		infPool.Put(i)
+	}()
 	i.br.Reset(data)
 	if err := i.zr.(flate.Resetter).Reset(&i.br, nil); err != nil {
 		return nil, err

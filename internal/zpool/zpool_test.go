@@ -95,3 +95,24 @@ func TestInflateTruncated(t *testing.T) {
 		t.Fatal("truncated stream accepted")
 	}
 }
+
+// TestInflatePoolRetention is the regression test for the pooled-inflater
+// leak carollint's poolreset analyzer found: Inflate must reset its
+// bytes.Reader to nil before pooling, or the pool pins the caller's input
+// alive (and visible to the next user). Under the race detector sync.Pool
+// drops Puts at random, in which case Get constructs a fresh inflater
+// whose reader is empty and the assertion holds vacuously.
+func TestInflatePoolRetention(t *testing.T) {
+	enc, err := AppendDeflate(nil, bytes.Repeat([]byte("payload "), 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inflate(enc, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	i := infPool.Get().(*inflater) //carol:allow poolreset test inspects pooled state without using it
+	defer infPool.Put(i)
+	if i.br.Size() != 0 {
+		t.Fatalf("pooled inflater retains %d bytes of caller input", i.br.Size())
+	}
+}
