@@ -1,4 +1,4 @@
-.PHONY: check build vet lint test race bench-rf bench-model bench-codecs
+.PHONY: check build vet lint test race bench-rf bench-model bench-codecs bench-gate
 
 check: ## build + vet + race-enabled tests + carollint (the tier-1 gate)
 	./scripts/check.sh
@@ -38,3 +38,9 @@ bench-model:
 bench-codecs:
 	go test -run '^$$' -bench 'BenchmarkCodec(Compress|Decompress)|SteadyState' \
 		-benchmem -benchtime 3x ./internal/pipeline/ ./internal/huffman/
+
+# The fleet-routing benchmarks whose numbers are committed to
+# BENCH_GATE.json: consistent-hash lookup and the gate's routing decision.
+bench-gate:
+	go test -run '^$$' -bench 'BenchmarkRing|BenchmarkGateRoute' -benchmem \
+		./internal/ring/ ./cmd/carolgate/

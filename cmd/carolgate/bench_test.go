@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchGate builds a gate over synthetic shard URLs with every shard
+// healthy — no listeners, so the benchmark isolates the routing decision
+// (ring lookup + health filter), not HTTP.
+func benchGate(b *testing.B, shards int) *gate {
+	b.Helper()
+	urls := make([]string, shards)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://shard-%d:8081", i)
+	}
+	cfg := defaultGateConfig()
+	g, err := newGate(cfg, urls)
+	if err != nil {
+		b.Fatalf("newGate: %v", err)
+	}
+	for _, name := range g.ring.Shards() {
+		g.shards[name].healthy.Store(true)
+	}
+	return g
+}
+
+// routeDecision is the per-request routing work handleCompress pays
+// before any byte leaves the gate: replica walk plus first-healthy scan.
+func routeDecision(g *gate, key string) string {
+	for _, shard := range g.ring.Lookup(key, g.ring.Len()) {
+		if g.shards[shard].healthy.Load() {
+			return shard
+		}
+	}
+	return ""
+}
+
+func BenchmarkGateRoute(b *testing.B) {
+	g := benchGate(b, 8)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/v1/compress?codec=sz3&dims=%dx64x64", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if routeDecision(g, keys[i%len(keys)]) == "" {
+			b.Fatal("no shard")
+		}
+	}
+}
+
+func BenchmarkGateRouteDegraded(b *testing.B) {
+	g := benchGate(b, 8)
+	// Half the fleet down: the walk pays the skip cost on every lookup.
+	names := g.ring.Shards()
+	for i, name := range names {
+		g.shards[name].healthy.Store(i%2 == 0)
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("field/%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if routeDecision(g, keys[i%len(keys)]) == "" {
+			b.Fatal("no shard")
+		}
+	}
+}

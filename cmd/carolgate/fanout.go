@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"carol/internal/chunked"
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/obs"
+	"carol/internal/pipeline"
+)
+
+// parseDims parses NXxNYxNZ (same grammar as carolserve).
+func parseDims(s string) (nx, ny, nz int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	vals := []int{1, 1, 1}
+	if s == "" || len(parts) > 3 {
+		return 0, 0, 0, fmt.Errorf("bad dims %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("bad dims %q", s)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+// shouldChunk decides whether a compress request fans out: chunking must
+// be enabled, the request must carry a plain rel= bound (ratio searches
+// and stream=1 route whole — a FRaZ search needs the whole field, and the
+// CPL1 streaming path is the shard's own fan-out), the field must clear
+// the size threshold, and there must be at least two healthy shards to
+// spread over.
+func (g *gate) shouldChunk(q url.Values, sizeBytes, healthy int) bool {
+	if g.cfg.chunkThresholdKiB <= 0 || healthy < 2 {
+		return false
+	}
+	if q.Get("rel") == "" && q.Get("abs") == "" {
+		return false
+	}
+	if q.Get("ratio") != "" || q.Get("stream") != "" {
+		return false
+	}
+	return sizeBytes >= g.cfg.chunkThresholdKiB<<10
+}
+
+// handleCompress routes small fields whole and fans large ones out:
+// split into one slab per healthy shard (internal/chunked geometry), the
+// whole-field error bound pinned with abs= so per-slab value ranges can't
+// loosen it, each slab compressed by the shard owning its ring key, and
+// the per-slab streams reassembled into the exact CCH1 container a local
+// chunked.Compress would emit.
+func (g *gate) handleCompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := g.readBody(r)
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	healthy := g.healthyShards()
+	if !g.shouldChunk(q, len(body), len(healthy)) {
+		g.proxyWhole(w, r, routeKey(r), body)
+		return
+	}
+	out, err := g.chunkCompress(q, routeKey(r), body, healthy)
+	if err != nil {
+		g.failed("/v1/compress").Inc()
+		if errors.Is(err, errBadRequest) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		fanoutError(w, err)
+		return
+	}
+	g.routed("/v1/compress").Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Carol-Achieved-Ratio",
+		strconv.FormatFloat(float64(len(body))/float64(len(out)), 'g', 6, 64))
+	w.Header().Set("X-Carol-Fanout-Chunks", strconv.Itoa(len(healthy)))
+	if _, err := w.Write(out); err != nil {
+		g.failed("/v1/compress").Inc()
+	}
+}
+
+// errBadRequest classifies chunkCompress failures the client caused.
+var errBadRequest = errors.New("bad request")
+
+// chunkCompress is the slab fan-out shared by the synchronous handler and
+// the async job path: parse, pin the whole-field bound, split one slab
+// per healthy shard, compress each on the shard owning its ring key, and
+// assemble the CCH1 container.
+func (g *gate) chunkCompress(q url.Values, baseKey string, body []byte, healthy []string) ([]byte, error) {
+	tr := g.reg.StartTrace("gate_compress_fanout")
+	defer tr.End()
+	nx, ny, nz, err := parseDims(q.Get("dims"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	span := tr.StartSpan("parse")
+	ff, err := field.ReadRaw("gate", nx, ny, nz, bytes.NewReader(body))
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	span = tr.StartSpan("split")
+	eb, err := gateAbsBound(ff, q)
+	if err != nil {
+		span.End()
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	slabs := pipeline.SplitField(ff, len(healthy))
+	span.End()
+
+	cands := g.ring.Lookup(baseKey, g.ring.Len())
+	g.fanned.Inc()
+	span = tr.StartSpan("fanout")
+	streams, err := pipeline.FanOut(len(slabs), g.cfg.fanoutWorkers, func(i int) ([]byte, error) {
+		slab := slabs[i]
+		var raw bytes.Buffer
+		raw.Grow(slab.SizeBytes())
+		if err := slab.WriteRaw(&raw); err != nil {
+			return nil, err
+		}
+		pq := url.Values{}
+		pq.Set("codec", q.Get("codec"))
+		pq.Set("abs", strconv.FormatFloat(eb, 'g', 17, 64))
+		pq.Set("dims", fmt.Sprintf("%dx%dx%d", slab.Nx, slab.Ny, slab.Nz))
+		resp, err := g.routeCandidates(slabCandidates(cands, i),
+			http.MethodPost, "/v1/compress?"+pq.Encode(), raw.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		if resp.status != http.StatusOK {
+			return nil, fmt.Errorf("slab %d: shard status %d: %s", i, resp.status, truncate(resp.body))
+		}
+		return resp.body, nil
+	})
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	g.reg.Histogram("gate_fanout_chunks", obs.LinearBuckets(1, 1, 16)).Observe(float64(len(streams)))
+	return chunked.Assemble(nx, ny, nz, streams), nil
+}
+
+// slabCandidates rotates the base key's replica walk by the slab index:
+// slab i's primary is the i-th distinct replica, so one field's slabs
+// spread across distinct shards deterministically instead of landing
+// wherever per-slab hashes happen to fall (with small fleets, often all
+// on one shard). The rotated tail remains a valid retry order.
+func slabCandidates(cands []string, i int) []string {
+	if len(cands) == 0 {
+		return cands
+	}
+	r := i % len(cands)
+	out := make([]string, 0, len(cands))
+	out = append(out, cands[r:]...)
+	return append(out, cands[:r]...)
+}
+
+// gateAbsBound resolves the request's error bound against the whole
+// field: abs= used verbatim, rel= scaled by the full-field value range —
+// the same AbsBound a single shard would compute, pinned once so every
+// slab honors it.
+func gateAbsBound(f *field.Field, q url.Values) (float64, error) {
+	if as := q.Get("abs"); as != "" {
+		eb, err := strconv.ParseFloat(as, 64)
+		if err != nil || !(eb > 0) {
+			return 0, fmt.Errorf("bad abs")
+		}
+		return eb, nil
+	}
+	rel, err := strconv.ParseFloat(q.Get("rel"), 64)
+	if err != nil || !(rel > 0) {
+		return 0, fmt.Errorf("bad rel")
+	}
+	return compressor.AbsBound(f, rel), nil
+}
+
+// handleDecompress fans CCH1 containers out chunk-by-chunk to the shards
+// owning them and reassembles the raw field in slab order; anything else
+// (CPL1, single codec streams) routes whole.
+func (g *gate) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := g.readBody(r)
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	if len(body) < 4 || [4]byte(body[:4]) != chunked.Magic || len(g.healthyShards()) < 2 {
+		g.proxyWhole(w, r, routeKey(r), body)
+		return
+	}
+	tr := g.reg.StartTrace("gate_decompress_fanout")
+	defer tr.End()
+	span := tr.StartSpan("parse")
+	nx, ny, nz, chunks, err := chunked.Parse(body, g.cfg.proxyLimits)
+	span.End()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	want := pipeline.ExpectedSlabDims(nx, ny, nz, len(chunks))
+	cands := g.ring.Lookup(routeKey(r), g.ring.Len())
+	codec := r.URL.Query().Get("codec")
+	g.fanned.Inc()
+	span = tr.StartSpan("fanout")
+	slabBytes, err := pipeline.FanOut(len(chunks), g.cfg.fanoutWorkers, func(i int) ([]byte, error) {
+		pq := url.Values{}
+		pq.Set("codec", codec)
+		resp, err := g.routeCandidates(slabCandidates(cands, i),
+			http.MethodPost, "/v1/decompress?"+pq.Encode(), chunks[i])
+		if err != nil {
+			return nil, err
+		}
+		if resp.status != http.StatusOK {
+			return nil, fmt.Errorf("chunk %d: shard status %d: %s", i, resp.status, truncate(resp.body))
+		}
+		d := want[i]
+		if len(resp.body) != d[0]*d[1]*d[2]*4 {
+			return nil, fmt.Errorf("chunk %d: shard returned %d bytes, want %d",
+				i, len(resp.body), d[0]*d[1]*d[2]*4)
+		}
+		return resp.body, nil
+	})
+	span.End()
+	if err != nil {
+		g.failed("/v1/decompress").Inc()
+		fanoutError(w, err)
+		return
+	}
+	g.routed("/v1/decompress").Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Carol-Dims", fmt.Sprintf("%dx%dx%d", nx, ny, nz))
+	w.Header().Set("X-Carol-Fanout-Chunks", strconv.Itoa(len(chunks)))
+	w.Header().Set("X-Carol-Trace", tr.String())
+	for _, sb := range slabBytes {
+		if _, err := w.Write(sb); err != nil {
+			g.failed("/v1/decompress").Inc()
+			return
+		}
+	}
+}
+
+// fanoutError maps a fan-out failure: no-shard conditions are the
+// fleet's problem (503, retry later), anything else bubbled a shard's
+// verdict about the data (422).
+func fanoutError(w http.ResponseWriter, err error) {
+	if strings.Contains(err.Error(), errNoShards.Error()) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "%v", err)
+}
+
+// truncate bounds an error-body echo.
+func truncate(b []byte) string {
+	const n = 200
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}

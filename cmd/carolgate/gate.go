@@ -1,0 +1,376 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"carol/internal/jobs"
+	"carol/internal/obs"
+	"carol/internal/ring"
+	"carol/internal/safedec"
+)
+
+// maxBody caps request bodies the gate will buffer (512 MiB of float32
+// samples — matches carolserve so the gate never accepts what a shard
+// would refuse).
+const maxBody = 512 << 20
+
+// gateConfig carries the gate's knobs, set from flags in main and from
+// test code directly.
+type gateConfig struct {
+	virtualNodes int
+	maxInflight  int
+	// fanoutWorkers bounds concurrent shard requests for one fanned field.
+	fanoutWorkers int
+	// chunkThresholdKiB: fields at least this large are slab-fanned across
+	// the healthy shards instead of routed whole. 0 disables chunking.
+	chunkThresholdKiB int
+
+	probeInterval   time.Duration
+	probeTimeout    time.Duration
+	probeMaxBackoff time.Duration
+	shardTimeout    time.Duration
+
+	jobWorkers  int
+	jobQueue    int
+	tenantQuota int
+
+	// proxyLimits bounds what the gate will allocate from client- or
+	// shard-claimed sizes (container headers on the decompress fan-out
+	// path, bodies everywhere). Zero-value fields take safedec defaults.
+	proxyLimits safedec.Limits
+
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	shutdownTimeout   time.Duration
+}
+
+// defaultGateConfig mirrors carolserve's production posture: generous
+// read/write windows for big bodies, bounded everything else.
+func defaultGateConfig() gateConfig {
+	return gateConfig{
+		virtualNodes:      ring.DefaultVirtualNodes,
+		maxInflight:       128,
+		fanoutWorkers:     8,
+		chunkThresholdKiB: 1024,
+		probeInterval:     500 * time.Millisecond,
+		probeTimeout:      2 * time.Second,
+		probeMaxBackoff:   5 * time.Second,
+		shardTimeout:      5 * time.Minute,
+		jobWorkers:        2,
+		jobQueue:          64,
+		tenantQuota:       8,
+		proxyLimits: safedec.Limits{
+			MaxElements: maxBody / 4,
+			MaxAlloc:    1 << 30,
+			MaxCount:    1 << 16,
+		},
+		readTimeout:       5 * time.Minute,
+		readHeaderTimeout: 10 * time.Second,
+		writeTimeout:      10 * time.Minute,
+		idleTimeout:       2 * time.Minute,
+		shutdownTimeout:   15 * time.Second,
+	}
+}
+
+// gate owns the routing state and handler chain. The ring is immutable
+// (membership is fixed at boot); per-shard health lives in shardState and
+// is the only mutable routing input, so the request path is lock-free.
+type gate struct {
+	cfg     gateConfig
+	ring    *ring.Ring
+	shards  map[string]*shardState
+	client  *http.Client
+	queue   *jobs.Queue
+	reg     *obs.Registry
+	sem     chan struct{}
+	handler http.Handler
+
+	inflight     *obs.Gauge
+	throttled    *obs.Counter
+	panics       *obs.Counter
+	healthyGauge *obs.Gauge
+	routed       func(endpoint string) *obs.Counter
+	retried      *obs.Counter
+	failed       func(endpoint string) *obs.Counter
+	fanned       *obs.Counter
+	shardSecs    func(shard string) *obs.Histogram
+}
+
+// newGate builds the gate over a fixed shard fleet. Shards start
+// unhealthy; the first probe sweep (run's probeAll) flips them.
+func newGate(cfg gateConfig, shardURLs []string) (*gate, error) {
+	if cfg.maxInflight < 1 {
+		cfg.maxInflight = 1
+	}
+	cfg.proxyLimits = cfg.proxyLimits.Norm()
+	r, err := ring.New(shardURLs, ring.Options{VirtualNodes: cfg.virtualNodes})
+	if err != nil {
+		return nil, err
+	}
+	g := &gate{
+		cfg:    cfg,
+		ring:   r,
+		shards: make(map[string]*shardState, len(shardURLs)),
+		client: &http.Client{Timeout: cfg.shardTimeout},
+		queue: jobs.New(jobs.Options{
+			MaxQueued:   cfg.jobQueue,
+			Workers:     cfg.jobWorkers,
+			TenantQuota: cfg.tenantQuota,
+		}),
+		reg:          obs.Default,
+		sem:          make(chan struct{}, cfg.maxInflight),
+		inflight:     obs.Default.Gauge("gate_inflight_requests"),
+		throttled:    obs.Default.Counter("gate_throttled_total"),
+		panics:       obs.Default.Counter("gate_panics_total"),
+		healthyGauge: obs.Default.Gauge("carol_fleet_healthy_shards"),
+		retried:      obs.Default.Counter("gate_retried_total"),
+		fanned:       obs.Default.Counter("gate_fanout_total"),
+	}
+	g.routed = func(endpoint string) *obs.Counter {
+		return g.reg.Counter(obs.Label("gate_routed_total", "endpoint", endpoint))
+	}
+	g.failed = func(endpoint string) *obs.Counter {
+		return g.reg.Counter(obs.Label("gate_failed_total", "endpoint", endpoint))
+	}
+	// Shard label values come from the operator's -shards flag (a fixed,
+	// bounded set), not from request input.
+	g.shardSecs = func(shard string) *obs.Histogram {
+		return g.reg.Histogram(obs.Label("gate_shard_request_seconds", "shard", shard), obs.LatencyBuckets())
+	}
+	for _, s := range r.Shards() {
+		g.shards[s] = newShardState(s)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compress", g.handleCompress)
+	mux.HandleFunc("/v1/decompress", g.handleDecompress)
+	mux.HandleFunc("/v1/estimate", g.handleProxyWhole)
+	mux.HandleFunc("/v1/predict", g.handleProxyWhole)
+	mux.HandleFunc("/v1/models", g.handleProxyWhole)
+	mux.HandleFunc("/v1/codecs", g.handleProxyWhole)
+	mux.HandleFunc("/v1/jobs/compress", g.handleJobSubmit)
+	mux.HandleFunc("/v1/jobs/", g.handleJobGet)
+	mux.HandleFunc("/v1/fleet", g.handleFleet)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/debug/vars", g.handleVars)
+	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/readyz", g.handleReadyz)
+	g.handler = g.measure(g.recoverPanics(g.limit(mux)))
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.handler.ServeHTTP(w, r)
+}
+
+// endpointLabel maps a request path to a bounded metric label (unknown
+// paths collapse to "other" so a URL scanner cannot grow the registry).
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/compress", "/v1/decompress", "/v1/estimate", "/v1/predict",
+		"/v1/models", "/v1/codecs", "/v1/fleet", "/metrics", "/debug/vars",
+		"/healthz", "/readyz":
+		return path
+	}
+	if path == "/v1/jobs/compress" {
+		return path
+	}
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		return "/v1/jobs/{id}"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if !sr.wrote {
+		sr.status = http.StatusOK
+		sr.wrote = true
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// limit bounds in-flight /v1/ requests; shedding beats queueing under
+// overload, and observability paths stay reachable while saturated.
+func (g *gate) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case g.sem <- struct{}{}:
+			defer func() { <-g.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			g.throttled.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "gate at capacity", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// measure records per-endpoint request counters and latency histograms.
+func (g *gate) measure(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := endpointLabel(r.URL.Path)
+		hist := g.reg.Histogram(obs.Label("gate_request_seconds", "endpoint", ep), obs.LatencyBuckets())
+		g.inflight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			hist.ObserveSince(start)
+			g.inflight.Add(-1)
+			status := rec.status
+			if !rec.wrote {
+				status = http.StatusOK
+			}
+			g.reg.Counter(obs.Label("gate_requests_total",
+				"endpoint", ep, "code", strconv.Itoa(status))).Inc()
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 and counts it.
+func (g *gate) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec, _ := w.(*statusRecorder)
+		defer func() {
+			if p := recover(); p != nil {
+				g.panics.Inc()
+				log.Printf("carolgate: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				if rec == nil || !rec.wrote {
+					http.Error(w, "internal error", http.StatusInternalServerError)
+				}
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (g *gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.reg.WriteText(w); err != nil {
+		log.Printf("carolgate: metrics write: %v", err)
+	}
+}
+
+func (g *gate) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := g.reg.WriteJSON(w); err != nil {
+		log.Printf("carolgate: vars write: %v", err)
+	}
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := w.Write([]byte("ok\n")); err != nil {
+		log.Printf("carolgate: healthz write: %v", err)
+	}
+}
+
+// handleReadyz: the gate is ready once it can route somewhere.
+func (g *gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(g.healthyShards()) == 0 {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "no healthy shards")
+		return
+	}
+	if _, err := w.Write([]byte("ready\n")); err != nil {
+		log.Printf("carolgate: readyz write: %v", err)
+	}
+}
+
+// fleetShard is one entry of the /v1/fleet listing.
+type fleetShard struct {
+	Shard        string         `json:"shard"`
+	Healthy      bool           `json:"healthy"`
+	ConsecFails  int64          `json:"consecutive_failures,omitempty"`
+	ModelVersion map[string]int `json:"model_versions,omitempty"`
+}
+
+// fleetStatus is the /v1/fleet response: per-shard health and model
+// versions (each shard's carol_model_version view, fetched live from its
+// /v1/models endpoint) plus the aggregate convergence verdict the fleet
+// smoke test gates on.
+type fleetStatus struct {
+	Shards     []fleetShard `json:"shards"`
+	Healthy    int          `json:"healthy_shards"`
+	RingShards int          `json:"ring_shards"`
+	Converged  bool         `json:"models_converged"`
+	JobsQueued int          `json:"jobs_queued"`
+	JobsActive int          `json:"jobs_running"`
+}
+
+// handleFleet aggregates shard health and per-shard model versions.
+func (g *gate) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := fleetStatus{RingShards: g.ring.Len(), Converged: true}
+	// Model versions every healthy shard agrees on; any disagreement (or a
+	// healthy shard that cannot answer) flips Converged.
+	seen := map[string]int{}
+	for _, name := range g.ring.Shards() {
+		ss := g.shards[name]
+		fs := fleetShard{Shard: name, Healthy: ss.healthy.Load(), ConsecFails: ss.fails.Load()}
+		if fs.Healthy {
+			st.Healthy++
+			versions, err := g.shardModelVersions(name)
+			if err != nil {
+				st.Converged = false
+			} else {
+				fs.ModelVersion = versions
+				for m, v := range versions {
+					if prev, ok := seen[m]; ok && prev != v {
+						st.Converged = false
+					}
+					seen[m] = v
+				}
+			}
+		}
+		st.Shards = append(st.Shards, fs)
+	}
+	if st.Healthy == 0 {
+		st.Converged = false
+	}
+	queued, running := g.queue.Depth()
+	st.JobsQueued, st.JobsActive = queued, running
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		log.Printf("carolgate: fleet encode: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"carol/internal/jobs"
+)
+
+// tenantOf extracts the tenant a job is accounted to: the X-Carol-Tenant
+// header, then the tenant= parameter, then "default". Quotas are
+// accounting, not auth — a bounded alphabet check keeps tenant strings
+// from smuggling junk into logs and JSON, but anyone can claim any name.
+func tenantOf(r *http.Request) (string, error) {
+	t := r.Header.Get("X-Carol-Tenant")
+	if t == "" {
+		t = r.URL.Query().Get("tenant")
+	}
+	if t == "" {
+		return "default", nil
+	}
+	if len(t) > 64 {
+		return "", fmt.Errorf("tenant name too long")
+	}
+	for _, c := range t {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.') {
+			return "", fmt.Errorf("bad tenant name")
+		}
+	}
+	return t, nil
+}
+
+// jobAccepted is the 202 response body.
+type jobAccepted struct {
+	ID        string `json:"id"`
+	StatusURL string `json:"status_url"`
+	ResultURL string `json:"result_url"`
+}
+
+// handleJobSubmit admits a large compress request into the async queue:
+// the body is buffered under the proxy limits, the job runs the same
+// routing logic as the synchronous path (chunk-fanned or whole), and the
+// client polls /v1/jobs/{id} until the result is streamable.
+func (g *gate) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	tenant, err := tenantOf(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := g.readBody(r)
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	// Snapshot the routing-relevant request state; the job outlives r.
+	query := r.URL.Query()
+	key := routeKey(r)
+	id, err := g.queue.Submit(tenant, "compress", func(ctx context.Context) ([]byte, error) {
+		return g.compressJob(query, key, body)
+	})
+	if err != nil {
+		jobAdmissionError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	resp := jobAccepted{
+		ID:        id,
+		StatusURL: "/v1/jobs/" + id,
+		ResultURL: "/v1/jobs/" + id + "/result",
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("carolgate: job accept encode: %v", err)
+	}
+}
+
+// compressJob is the queued work: same decision tree as handleCompress,
+// but returning bytes instead of writing a response.
+func (g *gate) compressJob(q url.Values, key string, body []byte) ([]byte, error) {
+	healthy := g.healthyShards()
+	if g.shouldChunk(q, len(body), len(healthy)) {
+		return g.chunkCompress(q, key, body, healthy)
+	}
+	pathAndQuery := "/v1/compress"
+	if enc := q.Encode(); enc != "" {
+		pathAndQuery += "?" + enc
+	}
+	resp, err := g.routeWithRetry(key, http.MethodPost, pathAndQuery, body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.status != http.StatusOK {
+		return nil, fmt.Errorf("shard status %d: %s", resp.status, truncate(resp.body))
+	}
+	return resp.body, nil
+}
+
+// jobAdmissionError maps queue refusals: full queue → 503 (come back),
+// tenant over quota → 429 (you specifically come back), closed → 503.
+func jobAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrTenantQuota):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleJobGet serves /v1/jobs/{id} (status JSON) and
+// /v1/jobs/{id}/result (the result stream once done).
+func (g *gate) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, wantResult := rest, false
+	if s, ok := strings.CutSuffix(rest, "/result"); ok {
+		id, wantResult = s, true
+	}
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusNotFound, "bad job path")
+		return
+	}
+	if wantResult {
+		g.serveJobResult(w, id)
+		return
+	}
+	st, err := g.queue.Get(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		log.Printf("carolgate: job status encode: %v", err)
+	}
+}
+
+// serveJobResult streams a finished job's bytes; an unfinished job
+// answers 202 with its status so pollers can share code with the status
+// endpoint, and a failed job surfaces its error as 502.
+func (g *gate) serveJobResult(w http.ResponseWriter, id string) {
+	res, st, err := g.queue.Result(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	switch st.State {
+	case jobs.StateQueued, jobs.StateRunning:
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		if err := json.NewEncoder(w).Encode(st); err != nil {
+			log.Printf("carolgate: job result encode: %v", err)
+		}
+	case jobs.StateFailed:
+		httpError(w, http.StatusBadGateway, "job failed: %s", st.Error)
+	default: // StateDone
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Carol-Job-Id", id)
+		if _, err := w.Write(res); err != nil {
+			log.Printf("carolgate: job result write: %v", err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Command carolgate is the fleet front door: it routes /v1/ traffic
+// across N backend carolserve shards on a consistent-hash ring
+// (internal/ring), splits large fields into slabs that are compressed in
+// parallel on the shards that own them (internal/chunked geometry,
+// internal/pipeline fan-out discipline), and absorbs large jobs into a
+// bounded async queue (internal/jobs) behind a 202-Accepted API.
+//
+//	carolgate -addr :8080 -shards http://s1:8081,http://s2:8082,http://s3:8083
+//
+// Endpoints:
+//
+//	POST /v1/compress?codec=..&rel=..&dims=..     -> routed to one shard, or
+//	     slab-fanned across the fleet when the field is large enough
+//	POST /v1/decompress?codec=..                  -> CCH1 containers fan chunks
+//	     out to their shards; everything else routes whole
+//	POST /v1/estimate, /v1/predict                -> routed whole
+//	GET  /v1/models, /v1/codecs                   -> routed whole
+//	POST /v1/jobs/compress?...&tenant=..          -> 202 + job id (async queue)
+//	GET  /v1/jobs/{id}                            -> JSON job status
+//	GET  /v1/jobs/{id}/result                     -> result stream once done
+//	GET  /v1/fleet                                -> shard health + model versions
+//	GET  /metrics, /debug/vars                    -> gate metrics
+//	GET  /healthz                                 -> gate liveness
+//	GET  /readyz                                  -> 200 once >=1 shard healthy
+//
+// Shard health is probed continuously (/healthz with per-shard backoff);
+// requests retry on the next ring replica when a shard fails mid-flight,
+// and an empty healthy set answers 503 + Retry-After. SIGTERM drains
+// in-flight requests and the job queue before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+)
+
+func main() {
+	cfg := defaultGateConfig()
+	addr := flag.String("addr", ":8080", "listen address")
+	shardList := flag.String("shards", "", "comma-separated backend carolserve base URLs (required)")
+	flag.IntVar(&cfg.virtualNodes, "vnodes", cfg.virtualNodes,
+		"virtual nodes per shard on the consistent-hash ring")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", cfg.maxInflight,
+		"maximum concurrently served /v1/ requests; excess get 503 + Retry-After")
+	flag.IntVar(&cfg.fanoutWorkers, "fanout-workers", cfg.fanoutWorkers,
+		"maximum concurrent shard requests per fanned-out field")
+	flag.IntVar(&cfg.chunkThresholdKiB, "chunk-threshold-kib", cfg.chunkThresholdKiB,
+		"fields at least this many KiB are slab-fanned across shards (0 disables chunking)")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", cfg.probeInterval,
+		"shard /healthz probe interval (healthy shards)")
+	flag.DurationVar(&cfg.probeTimeout, "probe-timeout", cfg.probeTimeout,
+		"per-probe timeout")
+	flag.DurationVar(&cfg.probeMaxBackoff, "probe-max-backoff", cfg.probeMaxBackoff,
+		"cap on the exponential probe backoff for failing shards")
+	flag.DurationVar(&cfg.shardTimeout, "shard-timeout", cfg.shardTimeout,
+		"per-attempt timeout for proxied shard requests")
+	flag.IntVar(&cfg.jobWorkers, "job-workers", cfg.jobWorkers,
+		"concurrently running async jobs")
+	flag.IntVar(&cfg.jobQueue, "job-queue", cfg.jobQueue,
+		"maximum queued async jobs (503 beyond)")
+	flag.IntVar(&cfg.tenantQuota, "tenant-quota", cfg.tenantQuota,
+		"maximum queued+running async jobs per tenant (429 beyond)")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", cfg.readTimeout, "full-request read timeout")
+	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", cfg.readHeaderTimeout, "request-header read timeout")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", cfg.writeTimeout, "response write timeout")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", cfg.idleTimeout, "keep-alive idle timeout")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", cfg.shutdownTimeout,
+		"grace period for draining in-flight requests and async jobs on SIGINT/SIGTERM")
+	flag.Parse()
+
+	shards := splitShards(*shardList)
+	if len(shards) == 0 {
+		log.Printf("carolgate: -shards is required (comma-separated carolserve base URLs)")
+		os.Exit(2)
+	}
+	os.Exit(run(cfg, *addr, shards))
+}
+
+// splitShards parses the -shards flag, trimming blanks and trailing
+// slashes so "http://a:1/, http://b:2" normalizes cleanly.
+func splitShards(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimRight(strings.TrimSpace(part), "/")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// run owns the gate lifecycle: probe loop up before the listener, listener
+// failures and shutdown failures each explicit, SIGTERM drains HTTP then
+// the job queue.
+func run(cfg gateConfig, addr string, shards []string) int {
+	g, err := newGate(cfg, shards)
+	if err != nil {
+		log.Printf("carolgate: %v", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("carolgate: listen: %v", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// First probe sweep runs synchronously so /readyz is meaningful the
+	// moment the listener accepts, then the background loop takes over.
+	g.probeAll()
+	stopProber := g.startProber()
+	defer stopProber()
+
+	srv := &http.Server{
+		Handler:           g,
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	log.Printf("carolgate listening on %s, %d shards on the ring", ln.Addr(), g.ring.Len())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Printf("carolgate: serve: %v", err)
+		return 1
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("carolgate: signal received, draining (up to %v)", cfg.shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		code := 0
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("carolgate: graceful shutdown: %v; forcing close", err)
+			if cerr := srv.Close(); cerr != nil {
+				log.Printf("carolgate: close: %v", cerr)
+			}
+			code = 1
+		} else if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("carolgate: serve returned %v after shutdown", err)
+			code = 1
+		}
+		// HTTP is drained (or abandoned); now drain the async queue under
+		// the same deadline so accepted jobs are not silently lost.
+		if err := g.queue.Close(sctx); err != nil {
+			log.Printf("carolgate: job drain: %v", err)
+			code = 1
+		}
+		log.Printf("carolgate: shutdown complete")
+		return code
+	}
+}

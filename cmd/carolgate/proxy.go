@@ -1,0 +1,373 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// errTooLarge marks a request rejected for size, mapped to 413.
+var errTooLarge = errors.New("request body too large")
+
+// errNoShards reports an empty healthy set, mapped to 503 + Retry-After.
+var errNoShards = errors.New("no healthy shards")
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// shardState is the mutable health record for one ring member. All fields
+// are atomics: the probe loop writes, the request path reads, no lock.
+type shardState struct {
+	url string
+	// healthy gates routing. Starts false; the boot probe sweep flips it.
+	healthy atomic.Bool
+	// fails counts consecutive probe failures, driving the backoff.
+	fails atomic.Int64
+	// nextProbe is the earliest unix-nano instant the prober may probe
+	// again — failing shards back off exponentially so a dead shard costs
+	// probe-timeout only a few times, not every sweep.
+	nextProbe atomic.Int64
+}
+
+func newShardState(url string) *shardState { return &shardState{url: url} }
+
+// healthyShards returns the healthy ring members in ring (sorted) order.
+func (g *gate) healthyShards() []string {
+	out := make([]string, 0, len(g.shards))
+	for _, s := range g.ring.Shards() {
+		if g.shards[s].healthy.Load() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// markShardDown records a request-path failure: the shard is routed
+// around immediately rather than waiting for the next probe sweep.
+func (g *gate) markShardDown(name string) {
+	ss := g.shards[name]
+	if ss.healthy.CompareAndSwap(true, false) {
+		log.Printf("carolgate: shard %s marked unhealthy after request failure", name)
+		g.healthyGauge.Set(float64(len(g.healthyShards())))
+	}
+}
+
+// probeAll probes every shard whose backoff window has passed and updates
+// the healthy gauge. One synchronous sweep; the prober loop calls it on a
+// ticker, run() calls it once before serving.
+func (g *gate) probeAll() {
+	now := time.Now().UnixNano()
+	for _, name := range g.ring.Shards() {
+		ss := g.shards[name]
+		if now < ss.nextProbe.Load() {
+			continue
+		}
+		g.probe(ss)
+	}
+	g.healthyGauge.Set(float64(len(g.healthyShards())))
+}
+
+// probe hits one shard's /healthz. Success resets the backoff; failure
+// doubles it (capped at probeMaxBackoff).
+func (g *gate) probe(ss *shardState) {
+	req, err := http.NewRequest(http.MethodGet, ss.url+"/healthz", nil)
+	if err != nil {
+		g.probeFailed(ss, err)
+		return
+	}
+	client := &http.Client{Timeout: g.cfg.probeTimeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		g.probeFailed(ss, err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if cerr := resp.Body.Close(); cerr != nil {
+		log.Printf("carolgate: probe body close: %v", cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		g.probeFailed(ss, fmt.Errorf("healthz status %d", resp.StatusCode))
+		return
+	}
+	if ss.healthy.CompareAndSwap(false, true) {
+		log.Printf("carolgate: shard %s healthy", ss.url)
+	}
+	ss.fails.Store(0)
+	ss.nextProbe.Store(time.Now().Add(g.cfg.probeInterval).UnixNano())
+}
+
+func (g *gate) probeFailed(ss *shardState, err error) {
+	fails := ss.fails.Add(1)
+	if ss.healthy.CompareAndSwap(true, false) {
+		log.Printf("carolgate: shard %s unhealthy: %v", ss.url, err)
+	}
+	backoff := g.cfg.probeInterval << uint(min64(fails, 6))
+	if backoff > g.cfg.probeMaxBackoff {
+		backoff = g.cfg.probeMaxBackoff
+	}
+	ss.nextProbe.Store(time.Now().Add(backoff).UnixNano())
+}
+
+func min64(a int64, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// startProber runs probeAll on a ticker until the returned stop func is
+// called. Single goroutine: per-shard backoff is the nextProbe gate, not
+// per-shard goroutines.
+func (g *gate) startProber() (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(g.cfg.probeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				g.probeAll()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// readBody buffers a client body under the proxy limits: Content-Length
+// is vetted before a byte is read, and the read itself is capped so a
+// lying client cannot out-allocate the limit either.
+func (g *gate) readBody(r *http.Request) ([]byte, error) {
+	limit := int64(maxBody)
+	if g.cfg.proxyLimits.MaxAlloc > 0 && g.cfg.proxyLimits.MaxAlloc < limit {
+		limit = g.cfg.proxyLimits.MaxAlloc
+	}
+	if r.ContentLength > limit {
+		return nil, fmt.Errorf("%w: content length %d exceeds %d bytes", errTooLarge, r.ContentLength, limit)
+	}
+	if err := g.cfg.proxyLimits.Alloc("proxied body", max64(r.ContentLength, 0)); err != nil {
+		return nil, fmt.Errorf("%w: %v", errTooLarge, err)
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("%w: body exceeds %d bytes", errTooLarge, limit)
+	}
+	return body, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// shardResponse is one shard's answer, fully buffered (bounded by the
+// proxy limits) so the gate can retry a replica before committing a
+// status line to the client.
+type shardResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// retryable reports whether a shard answer should move to the next
+// replica: transport errors and gateway-ish statuses mean "this shard
+// can't serve anyone right now", while 4xx/422/413 are verdicts about the
+// request that every replica would repeat.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+		http.StatusInternalServerError:
+		return true
+	}
+	return false
+}
+
+// callShard performs one attempt against one shard, buffering the
+// response under the proxy limits.
+func (g *gate) callShard(shard, method, pathAndQuery string, body []byte) (*shardResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, shard+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	g.shardSecs(shard).ObserveSince(start)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			log.Printf("carolgate: shard body close: %v", cerr)
+		}
+	}()
+	limit := int64(maxBody)
+	out, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(out)) > limit {
+		return nil, fmt.Errorf("shard response exceeds %d bytes", limit)
+	}
+	return &shardResponse{status: resp.StatusCode, header: resp.Header, body: out}, nil
+}
+
+// routeWithRetry walks key's replica sequence — healthy shards first, in
+// ring order — calling each until one answers non-retryably. A failing
+// shard is marked down on the spot. The error is errNoShards when no
+// candidate exists (503 + Retry-After at the edge).
+func (g *gate) routeWithRetry(key, method, pathAndQuery string, body []byte) (*shardResponse, error) {
+	return g.routeCandidates(g.ring.Lookup(key, g.ring.Len()), method, pathAndQuery, body)
+}
+
+// routeCandidates tries candidates in order until one answers
+// non-retryably.
+func (g *gate) routeCandidates(candidates []string, method, pathAndQuery string, body []byte) (*shardResponse, error) {
+	attempts := 0
+	var lastErr error
+	for _, shard := range candidates {
+		if !g.shards[shard].healthy.Load() {
+			continue
+		}
+		if attempts > 0 {
+			g.retried.Inc()
+		}
+		attempts++
+		resp, err := g.callShard(shard, method, pathAndQuery, body)
+		if err != nil {
+			lastErr = fmt.Errorf("shard %s: %w", shard, err)
+			log.Printf("carolgate: %v (trying next replica)", lastErr)
+			g.markShardDown(shard)
+			continue
+		}
+		if retryable(resp.status) {
+			lastErr = fmt.Errorf("shard %s: status %d", shard, resp.status)
+			continue
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		return nil, errNoShards
+	}
+	return nil, fmt.Errorf("%w: all replicas failed, last: %v", errNoShards, lastErr)
+}
+
+// writeShardResponse relays a buffered shard answer to the client.
+func writeShardResponse(w http.ResponseWriter, resp *shardResponse) {
+	for k, vs := range resp.header {
+		// Hop-by-hop headers stay between gate and shard.
+		if k == "Connection" || k == "Keep-Alive" || k == "Transfer-Encoding" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	if _, err := w.Write(resp.body); err != nil {
+		log.Printf("carolgate: response write: %v", err)
+	}
+}
+
+// routeKey picks the ring key for a whole-routed request: an explicit
+// key= parameter wins (client-controlled affinity), else a deterministic
+// digest of the routing-relevant parts of the request.
+func routeKey(r *http.Request) string {
+	q := r.URL.Query()
+	if k := q.Get("key"); k != "" {
+		return k
+	}
+	return r.URL.Path + "?codec=" + q.Get("codec") + "&dims=" + q.Get("dims")
+}
+
+// handleProxyWhole routes one request to one shard (with replica retry)
+// and relays the answer.
+func (g *gate) handleProxyWhole(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Method == http.MethodPost {
+		var err error
+		if body, err = g.readBody(r); err != nil {
+			bodyError(w, err)
+			return
+		}
+	}
+	g.proxyWhole(w, r, routeKey(r), body)
+}
+
+func (g *gate) proxyWhole(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	ep := endpointLabel(r.URL.Path)
+	pathAndQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+	resp, err := g.routeWithRetry(key, r.Method, pathAndQuery, body)
+	if err != nil {
+		g.failed(ep).Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	g.routed(ep).Inc()
+	writeShardResponse(w, resp)
+}
+
+// bodyError maps a body-read failure to its status code.
+func bodyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errTooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
+}
+
+// shardModelVersions fetches one shard's /v1/models listing and reduces
+// it to name→version — the per-shard carol_model_version view /v1/fleet
+// aggregates.
+func (g *gate) shardModelVersions(shard string) (map[string]int, error) {
+	resp, err := g.callShard(shard, http.MethodGet, "/v1/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.status == http.StatusNotFound {
+		return nil, nil // shard runs without -model-dir: nothing to converge
+	}
+	if resp.status != http.StatusOK {
+		return nil, fmt.Errorf("shard %s /v1/models: status %d", shard, resp.status)
+	}
+	var infos []struct {
+		Model   string `json:"model"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(resp.body, &infos); err != nil {
+		return nil, fmt.Errorf("shard %s /v1/models: %w", shard, err)
+	}
+	out := make(map[string]int, len(infos))
+	for _, mi := range infos {
+		out[mi.Model] = mi.Version
+	}
+	return out, nil
+}

@@ -69,6 +69,8 @@ func main() {
 		"caroltrain model registry to warm-load and serve on /v1/predict; SIGHUP hot-reloads")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", cfg.maxInflight,
 		"maximum concurrently served /v1/ requests; excess get 503 + Retry-After")
+	flag.DurationVar(&cfg.registryWatch, "registry-watch", cfg.registryWatch,
+		"poll the model registry at this interval and hot-swap on change (0 disables; SIGHUP always works)")
 	flag.BoolVar(&cfg.trackEstimatorError, "track-estimator-error", cfg.trackEstimatorError,
 		"run the SECRE surrogate alongside rel= compresses and export estimate-vs-actual error gauges")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", cfg.readTimeout, "full-request read timeout")
@@ -105,6 +107,10 @@ func run(cfg config, addr string) int {
 		}
 		stopHUP := s.models.watchHUP()
 		defer stopHUP()
+		if cfg.registryWatch > 0 {
+			stopWatch := s.models.watchRegistry(cfg.registryWatch)
+			defer stopWatch()
+		}
 	}
 	srv := &http.Server{
 		Handler:           s,
@@ -247,13 +253,25 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		stream = res.Stream
 		w.Header().Set("X-Carol-Achieved-Ratio", strconv.FormatFloat(res.Achieved, 'g', 6, 64))
 		w.Header().Set("X-Carol-Compressor-Runs", strconv.Itoa(res.Runs))
-	case q.Get("rel") != "":
-		rel, err := strconv.ParseFloat(q.Get("rel"), 64)
-		if err != nil || rel <= 0 {
-			httpError(w, http.StatusBadRequest, "bad rel")
-			return
+	case q.Get("rel") != "", q.Get("abs") != "":
+		// abs= pins an absolute error bound verbatim — the fleet gate uses
+		// it to hold a whole-field bound across slab fan-outs, where a
+		// per-slab rel= would rescale by each slab's own value range.
+		var eb float64
+		if as := q.Get("abs"); as != "" {
+			eb, err = strconv.ParseFloat(as, 64)
+			if err != nil || eb <= 0 {
+				httpError(w, http.StatusBadRequest, "bad abs")
+				return
+			}
+		} else {
+			rel, rerr := strconv.ParseFloat(q.Get("rel"), 64)
+			if rerr != nil || rel <= 0 {
+				httpError(w, http.StatusBadRequest, "bad rel")
+				return
+			}
+			eb = compressor.AbsBound(f, rel)
 		}
-		eb := compressor.AbsBound(f, rel)
 		if q.Get("stream") != "" {
 			s.compressStreaming(w, r, tr, codec, f, eb)
 			return
@@ -282,7 +300,7 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	default:
-		httpError(w, http.StatusBadRequest, "need rel= or ratio=")
+		httpError(w, http.StatusBadRequest, "need rel=, abs= or ratio=")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

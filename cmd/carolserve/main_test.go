@@ -140,6 +140,55 @@ func TestStreamingCompressRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCompressAbsBoundEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	f, body := testBody(t)
+
+	// Pin the same absolute bound a rel=1e-3 request would resolve to; the
+	// fleet gate relies on abs= surviving verbatim across slab fan-outs.
+	eb := 1e-3 * f.ValueRange()
+	resp, err := http.Post(srv.URL+"/v1/compress?codec=sz3&abs="+
+		strconv.FormatFloat(eb, 'g', 17, 64)+"&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("abs compress: status %d, %v", resp.StatusCode, err)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/decompress?codec=sz3",
+		"application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status %d", resp.StatusCode)
+	}
+	g, err := field.ReadRaw("resp", 24, 24, 8, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Equalish(g, eb*1.01); err != nil {
+		t.Fatal(err)
+	}
+
+	_, body = testBody(t)
+	resp, err = http.Post(srv.URL+"/v1/compress?codec=sz3&abs=-1&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("abs=-1: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestCompressFixedRatioEndpoint(t *testing.T) {
 	srv := httptest.NewServer(newServer())
 	defer srv.Close()

@@ -124,6 +124,9 @@ func (ms *modelStore) loadLatest(reg *registry.Registry, name string, prev *load
 	lm.stats.Trees, lm.stats.Nodes, lm.stats.MaxDepth = st.Trees, st.Nodes, st.MaxDepth
 	ms.loadTotal("ok").Inc()
 	ms.reg.Gauge(obs.Label("model_loaded_version", "model", name)).Set(float64(latest.Number))
+	// carol_model_version is the fleet-convergence gauge: the gate's
+	// /v1/fleet view compares it (via /v1/models) across shards.
+	ms.reg.Gauge(obs.Label("carol_model_version", "model", name)).Set(float64(latest.Number))
 	ms.reg.Gauge(obs.Label("model_forest_trees", "model", name)).Set(float64(st.Trees))
 	ms.reg.Gauge(obs.Label("model_forest_nodes", "model", name)).Set(float64(st.Nodes))
 	ms.reg.Gauge(obs.Label("model_forest_max_depth", "model", name)).Set(float64(st.MaxDepth))
@@ -151,6 +154,76 @@ func (ms *modelStore) watchHUP() (stop func()) {
 		signal.Stop(ch)
 		close(ch)
 		<-done
+	}
+}
+
+// fingerprint reduces the registry's current state to a comparable string:
+// every model's latest (number, sha256) pair in sorted name order. Two
+// equal fingerprints mean a reload would be a no-op, so the watch loop
+// only pays for Reload (artifact decode + serving check) on real change.
+func (ms *modelStore) fingerprint() (string, error) {
+	reg, err := registry.Open(ms.dir)
+	if err != nil {
+		return "", err
+	}
+	names, err := reg.List()
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		latest, err := reg.Latest(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s=%d:%s;", name, latest.Number, latest.SHA256)
+	}
+	return b.String(), nil
+}
+
+// watchRegistry polls the registry manifests at interval and reloads when
+// the latest-version fingerprint changes — fleet convergence without
+// SIGHUP fan-out: publish once, every shard notices on its next poll and
+// hot-swaps. The returned stop func halts the loop and waits for it.
+func (ms *modelStore) watchRegistry(interval time.Duration) (stop func()) {
+	last, err := ms.fingerprint()
+	if err != nil {
+		last = "" // first successful poll will trigger a reload attempt
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fp, err := ms.fingerprint()
+				if err != nil {
+					log.Printf("carolserve: registry watch: %v", err)
+					continue
+				}
+				if fp == last {
+					continue
+				}
+				log.Printf("carolserve: registry changed, reloading models")
+				if err := ms.Reload(); err != nil {
+					log.Printf("carolserve: registry watch reload: %v", err)
+				}
+				// Advance even on partial failure: Reload keeps healthy
+				// generations and logged what broke; repolling an unchanged
+				// broken registry every tick would just repeat the error.
+				last = fp
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }
 

@@ -362,3 +362,52 @@ func TestSIGHUPReload(t *testing.T) {
 	}
 	t.Fatalf("model not reloaded after SIGHUP; serving %+v", s.models.set()["szx"])
 }
+
+func TestRegistryFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	publishTestModel(t, dir, 1)
+	s := modelServer(t, dir)
+
+	fp1, err := s.models.fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := s.models.fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint unstable without a publish: %q vs %q", fp1, fp2)
+	}
+	publishTestModel(t, dir, 2)
+	fp3, err := s.models.fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Fatalf("fingerprint unchanged after publish: %q", fp3)
+	}
+}
+
+func TestRegistryWatchConverges(t *testing.T) {
+	dir := t.TempDir()
+	publishTestModel(t, dir, 1)
+	s := modelServer(t, dir)
+	if lm := s.models.set()["szx"]; lm == nil || lm.version.Number != 1 {
+		t.Fatalf("warm load did not serve v1")
+	}
+
+	stop := s.models.watchRegistry(20 * time.Millisecond)
+	defer stop()
+
+	// Publish without any signal: the poll loop must notice and hot-swap.
+	publishTestModel(t, dir, 2)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if lm := s.models.set()["szx"]; lm != nil && lm.version.Number == 2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("registry watch never converged to v2; serving %+v", s.models.set()["szx"])
+}

@@ -31,6 +31,11 @@ type config struct {
 	// and hot-swapped on SIGHUP. Empty disables model serving.
 	modelDir string
 
+	// registryWatch, when positive, polls the registry manifests at this
+	// interval and hot-swaps on change — fleet convergence without SIGHUP
+	// fan-out. Zero disables the poll (SIGHUP still works).
+	registryWatch time.Duration
+
 	readTimeout       time.Duration
 	readHeaderTimeout time.Duration
 	writeTimeout      time.Duration

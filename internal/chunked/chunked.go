@@ -22,8 +22,9 @@ import (
 	"carol/internal/safedec"
 )
 
-// magic identifies chunked containers.
-var magic = [4]byte{'C', 'C', 'H', '1'}
+// Magic identifies chunked containers ("CCH1"). Exported so routing tiers
+// (cmd/carolgate) can recognize a container without decoding it.
+var Magic = [4]byte{'C', 'C', 'H', '1'}
 
 // Options tunes chunking. Zero values take defaults.
 type Options struct {
@@ -58,18 +59,30 @@ func Compress(codec compressor.Codec, f *field.Field, eb float64, opts Options) 
 	if err != nil {
 		return nil, fmt.Errorf("chunked: %w", err)
 	}
+	return Assemble(f.Nx, f.Ny, f.Nz, streams), nil
+}
 
-	// Container: magic, dims, chunk count, per-chunk lengths, streams.
-	var out []byte
-	out = append(out, magic[:]...)
+// Assemble builds a CCH1 container from per-slab streams that were split
+// with pipeline.SplitField geometry over an nx×ny×nz field: magic, dims,
+// chunk count, up-front length table, streams. It is the byte-level
+// inverse of Parse and exists separately from Compress so a routing tier
+// can compress slabs on remote shards and still emit the exact container
+// a local Compress would have.
+func Assemble(nx, ny, nz int, streams [][]byte) []byte {
+	total := 20 + 4*len(streams)
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, Magic[:]...)
 	var u32 [4]byte
 	put := func(v uint32) {
 		binary.LittleEndian.PutUint32(u32[:], v)
 		out = append(out, u32[:]...)
 	}
-	put(uint32(f.Nx))
-	put(uint32(f.Ny))
-	put(uint32(f.Nz))
+	put(uint32(nx))
+	put(uint32(ny))
+	put(uint32(nz))
 	put(uint32(len(streams)))
 	for _, s := range streams {
 		put(uint32(len(s)))
@@ -77,7 +90,63 @@ func Compress(codec compressor.Codec, f *field.Field, eb float64, opts Options) 
 	for _, s := range streams {
 		out = append(out, s...)
 	}
-	return out, nil
+	return out
+}
+
+// Parse validates a CCH1 container header against lim and returns its
+// dimensions and per-chunk streams (aliasing stream, nothing copied).
+// Every container-claimed size — dims product, chunk count, lengths — is
+// checked before anything is allocated from it, and the chunk count is
+// checked against the slab geometry the dimensions imply. Parse does NOT
+// decode chunk payloads; pair it with per-chunk decompression (local via
+// pipeline.DecompressSlabs, or remote via a shard fan-out).
+func Parse(stream []byte, lim safedec.Limits) (nx, ny, nz int, chunks [][]byte, err error) {
+	lim = lim.Norm()
+	if len(stream) < 20 {
+		return 0, 0, 0, nil, fmt.Errorf("chunked: short container: %w", safedec.ErrTruncated)
+	}
+	if [4]byte(stream[:4]) != Magic {
+		return 0, 0, 0, nil, fmt.Errorf("chunked: bad container magic: %w", safedec.ErrCorrupt)
+	}
+	nx = int(binary.LittleEndian.Uint32(stream[4:]))
+	ny = int(binary.LittleEndian.Uint32(stream[8:]))
+	nz = int(binary.LittleEndian.Uint32(stream[12:]))
+	n := int(binary.LittleEndian.Uint32(stream[16:]))
+	if n <= 0 || n > 1<<16 {
+		return 0, 0, 0, nil, fmt.Errorf("chunked: implausible chunk count %d: %w", n, safedec.ErrCorrupt)
+	}
+	if err := lim.Count("chunked chunks", int64(n)); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("chunked: %w", err)
+	}
+	// Validate the dims product before field.New computes it; a hostile
+	// header otherwise overflows the int multiply (or allocates petabytes).
+	if _, err := lim.Elements(nx, ny, nz); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("chunked: container dims: %w", err)
+	}
+	pos := 20
+	lens := make([]int, n)
+	var total int64
+	for i := range lens {
+		if pos+4 > len(stream) {
+			return 0, 0, 0, nil, fmt.Errorf("chunked: truncated length table: %w", safedec.ErrTruncated)
+		}
+		lens[i] = int(binary.LittleEndian.Uint32(stream[pos:]))
+		total += int64(lens[i])
+		pos += 4
+	}
+	if int64(pos)+total > int64(len(stream)) {
+		return 0, 0, 0, nil, fmt.Errorf("chunked: truncated chunk data: %w", safedec.ErrTruncated)
+	}
+	chunks = make([][]byte, n)
+	for i, l := range lens {
+		chunks[i] = stream[pos : pos+l]
+		pos += l
+	}
+	if want := pipeline.ExpectedSlabDims(nx, ny, nz, n); len(want) != n {
+		return 0, 0, 0, nil, fmt.Errorf("chunked: %d chunks cannot tile a %dx%dx%d field: %w",
+			n, nx, ny, nz, safedec.ErrCorrupt)
+	}
+	return nx, ny, nz, chunks, nil
 }
 
 // Decompress reverses Compress, decoding slabs in parallel. Container-claimed
@@ -86,52 +155,11 @@ func Compress(codec compressor.Codec, f *field.Field, eb float64, opts Options) 
 func Decompress(codec compressor.Codec, stream []byte, opts Options) (*field.Field, error) {
 	opts = opts.withDefaults()
 	lim := opts.Limits.Norm()
-	if len(stream) < 20 {
-		return nil, fmt.Errorf("chunked: short container: %w", safedec.ErrTruncated)
+	nx, ny, nz, chunks, err := Parse(stream, lim)
+	if err != nil {
+		return nil, err
 	}
-	if [4]byte(stream[:4]) != magic {
-		return nil, fmt.Errorf("chunked: bad container magic: %w", safedec.ErrCorrupt)
-	}
-	nx := int(binary.LittleEndian.Uint32(stream[4:]))
-	ny := int(binary.LittleEndian.Uint32(stream[8:]))
-	nz := int(binary.LittleEndian.Uint32(stream[12:]))
-	n := int(binary.LittleEndian.Uint32(stream[16:]))
-	if n <= 0 || n > 1<<16 {
-		return nil, fmt.Errorf("chunked: implausible chunk count %d: %w", n, safedec.ErrCorrupt)
-	}
-	if err := lim.Count("chunked chunks", int64(n)); err != nil {
-		return nil, fmt.Errorf("chunked: %w", err)
-	}
-	// Validate the dims product before field.New computes it; a hostile
-	// header otherwise overflows the int multiply (or allocates petabytes).
-	if _, err := lim.Elements(nx, ny, nz); err != nil {
-		return nil, fmt.Errorf("chunked: container dims: %w", err)
-	}
-	pos := 20
-	lens := make([]int, n)
-	var total int64
-	for i := range lens {
-		if pos+4 > len(stream) {
-			return nil, fmt.Errorf("chunked: truncated length table: %w", safedec.ErrTruncated)
-		}
-		lens[i] = int(binary.LittleEndian.Uint32(stream[pos:]))
-		total += int64(lens[i])
-		pos += 4
-	}
-	if int64(pos)+total > int64(len(stream)) {
-		return nil, fmt.Errorf("chunked: truncated chunk data: %w", safedec.ErrTruncated)
-	}
-	chunks := make([][]byte, n)
-	for i, l := range lens {
-		chunks[i] = stream[pos : pos+l]
-		pos += l
-	}
-	want := pipeline.ExpectedSlabDims(nx, ny, nz, n)
-	if len(want) != n {
-		return nil, fmt.Errorf("chunked: %d chunks cannot tile a %dx%dx%d field: %w",
-			n, nx, ny, nz, safedec.ErrCorrupt)
-	}
-
+	want := pipeline.ExpectedSlabDims(nx, ny, nz, len(chunks))
 	slabs, err := pipeline.DecompressSlabs(codec, chunks, lim, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("chunked: %w", err)

@@ -8,6 +8,7 @@ import (
 	"carol/internal/dataset"
 	"carol/internal/field"
 	"carol/internal/pipeline"
+	"carol/internal/safedec"
 )
 
 func testField(t testing.TB, nx, ny, nz int) *field.Field {
@@ -165,5 +166,68 @@ func BenchmarkChunkedCompress(b *testing.B) {
 		if _, err := Compress(codec, f, eb, Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestAssembleParseInverse: Assemble over remotely-produced slab streams
+// must emit the exact container Compress emits locally, and Parse must
+// hand back the same streams — the byte-level contract carolgate's
+// chunked fan-out relies on.
+func TestAssembleParseInverse(t *testing.T) {
+	f := testField(t, 24, 20, 12)
+	codec, err := codecs.ByName("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := compressor.AbsBound(f, 1e-3)
+	want, err := Compress(codec, f, eb, Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the same container the way a gate would: split, compress
+	// each slab independently, Assemble.
+	slabs := pipeline.SplitField(f, 4)
+	streams := make([][]byte, len(slabs))
+	for i, slab := range slabs {
+		if streams[i], err = codec.Compress(slab, eb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := Assemble(f.Nx, f.Ny, f.Nz, streams)
+	if len(got) != len(want) {
+		t.Fatalf("Assemble produced %d bytes, Compress %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Assemble differs from Compress at byte %d", i)
+		}
+	}
+
+	nx, ny, nz, chunks, err := Parse(got, safedec.Limits{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if nx != f.Nx || ny != f.Ny || nz != f.Nz {
+		t.Fatalf("Parse dims %dx%dx%d, want %dx%dx%d", nx, ny, nz, f.Nx, f.Ny, f.Nz)
+	}
+	if len(chunks) != len(streams) {
+		t.Fatalf("Parse returned %d chunks, want %d", len(chunks), len(streams))
+	}
+	for i := range chunks {
+		if len(chunks[i]) != len(streams[i]) {
+			t.Fatalf("chunk %d is %d bytes, want %d", i, len(chunks[i]), len(streams[i]))
+		}
+	}
+}
+
+// TestParseRejectsHostileHeaders: Parse must classify, not crash, on the
+// same hostile inputs Decompress is hardened against.
+func TestParseRejectsHostileHeaders(t *testing.T) {
+	if _, _, _, _, err := Parse([]byte("CCH"), safedec.Limits{}); err == nil {
+		t.Fatal("Parse accepted a truncated container")
+	}
+	if _, _, _, _, err := Parse([]byte("XXXX0123456789abcdef"), safedec.Limits{}); err == nil {
+		t.Fatal("Parse accepted a bad magic")
 	}
 }

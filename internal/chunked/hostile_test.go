@@ -12,7 +12,7 @@ import (
 // container assembles a chunked container with explicit header fields and
 // chunk payloads.
 func container(nx, ny, nz, n uint32, chunks ...[]byte) []byte {
-	out := append([]byte(nil), magic[:]...)
+	out := append([]byte(nil), Magic[:]...)
 	var b [4]byte
 	put := func(v uint32) {
 		binary.LittleEndian.PutUint32(b[:], v)

@@ -389,6 +389,35 @@ func CompressSlabs(codec compressor.Codec, slabs []*field.Field, eb float64, wor
 	return streams, nil
 }
 
+// FanOut runs work(i) for i in [0, n) on a bounded worker pool and
+// returns the results in index order, stopping useful work at the first
+// error (in-flight items drain so no goroutine leaks). It reuses the
+// runOrdered launcher discipline — sequential launch, bounded concurrency
+// acquired before each go statement, bounded reorder window — for callers
+// whose per-item work is not a codec invocation, e.g. carolgate fanning a
+// field's slabs out to the shards that own them.
+func FanOut(n, workers int, work func(i int) ([]byte, error)) ([][]byte, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]byte, n)
+	err := runOrdered(n, workers,
+		func(i int) func() result {
+			return func() result {
+				buf, err := work(i)
+				return result{buf: buf, err: err}
+			}
+		},
+		func(i int, r result) error {
+			out[i] = r.buf
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // DecompressSlabs decodes each stream with codec under lim on a bounded
 // worker pool, returning decoded slabs in stream order.
 func DecompressSlabs(codec compressor.Codec, chunks [][]byte, lim safedec.Limits, workers int) ([]*field.Field, error) {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"carol/internal/codecs"
 	"carol/internal/compressor"
@@ -352,4 +353,51 @@ func putU32(b []byte, v uint32) {
 	b[1] = byte(v >> 8)
 	b[2] = byte(v >> 16)
 	b[3] = byte(v >> 24)
+}
+
+// TestFanOut: results arrive in index order regardless of completion
+// order, concurrency stays bounded, and the first error cancels the rest.
+func TestFanOut(t *testing.T) {
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	out, err := FanOut(16, 3, func(i int) ([]byte, error) {
+		mu.Lock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		time.Sleep(time.Duration(16-i) * time.Millisecond) // later items finish first
+		mu.Lock()
+		cur--
+		mu.Unlock()
+		return []byte{byte(i)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 16 {
+		t.Fatalf("FanOut returned %d results", len(out))
+	}
+	for i, b := range out {
+		if len(b) != 1 || b[0] != byte(i) {
+			t.Fatalf("result %d = %v, out of order", i, b)
+		}
+	}
+	if peak > 3 {
+		t.Fatalf("observed %d concurrent workers, bound is 3", peak)
+	}
+}
+
+func TestFanOutError(t *testing.T) {
+	wantErr := errors.New("shard down")
+	_, err := FanOut(8, 2, func(i int) ([]byte, error) {
+		if i == 3 {
+			return nil, wantErr
+		}
+		return []byte{byte(i)}, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("FanOut error = %v, want %v", err, wantErr)
+	}
 }

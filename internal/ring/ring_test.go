@@ -1,0 +1,180 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustNew(t testing.TB, shards []string, opts Options) *Ring {
+	t.Helper()
+	r, err := New(shards, opts)
+	if err != nil {
+		t.Fatalf("New(%v): %v", shards, err)
+	}
+	return r
+}
+
+func shardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%d.example:8080", i)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("field/%d/run-%d", i%17, i)
+	}
+	return out
+}
+
+func TestNewRejectsBadMembers(t *testing.T) {
+	if _, err := New([]string{"a", ""}, Options{}); err == nil {
+		t.Fatal("New accepted an empty shard name")
+	}
+	if _, err := New([]string{"a", "b", "a"}, Options{}); err == nil {
+		t.Fatal("New accepted a duplicate shard")
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := mustNew(t, nil, Options{})
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	if got := r.Lookup("k", 3); got != nil {
+		t.Fatalf("empty ring Lookup = %v, want nil", got)
+	}
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want empty", got)
+	}
+}
+
+// TestDistributionUniformity: across 1k keys and several fleet sizes, no
+// shard may own more than 2x the mean share — the bound the gate's load
+// model (and the ISSUE acceptance criteria) rely on.
+func TestDistributionUniformity(t *testing.T) {
+	ks := keys(1000)
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		r := mustNew(t, shardNames(n), Options{})
+		counts := map[string]int{}
+		for _, k := range ks {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d shards ever own a key", n, len(counts))
+		}
+		mean := float64(len(ks)) / float64(n)
+		for s, c := range counts {
+			if float64(c) > 2*mean {
+				t.Errorf("n=%d: shard %s owns %d keys, >2x mean %.1f", n, s, c, mean)
+			}
+		}
+	}
+}
+
+// TestMinimalMovement: adding or removing one shard must move fewer than
+// 2/N of the keys — the consistent-hashing property that makes membership
+// changes cheap. A modulo-hash router would move (N-1)/N of them.
+func TestMinimalMovement(t *testing.T) {
+	ks := keys(1000)
+	for _, n := range []int{3, 5, 10} {
+		before := mustNew(t, shardNames(n), Options{})
+		grown := mustNew(t, shardNames(n+1), Options{})
+		shrunk := mustNew(t, shardNames(n)[:n-1], Options{})
+
+		movedGrow, movedShrink := 0, 0
+		for _, k := range ks {
+			if before.Owner(k) != grown.Owner(k) {
+				movedGrow++
+			}
+			if before.Owner(k) != shrunk.Owner(k) {
+				movedShrink++
+			}
+		}
+		maxMoved := int(2.0 / float64(n) * float64(len(ks)))
+		if movedGrow > maxMoved {
+			t.Errorf("n=%d→%d: %d/%d keys moved on join, want < %d", n, n+1, movedGrow, len(ks), maxMoved)
+		}
+		if movedShrink > maxMoved {
+			t.Errorf("n=%d→%d: %d/%d keys moved on leave, want < %d", n, n-1, movedShrink, len(ks), maxMoved)
+		}
+	}
+}
+
+// TestDeterminism: the same members produce the same placements regardless
+// of input order or which Ring instance answers — required for gate
+// restarts and for running several gates side by side.
+func TestDeterminism(t *testing.T) {
+	shards := shardNames(5)
+	reversed := make([]string, len(shards))
+	for i, s := range shards {
+		reversed[len(shards)-1-i] = s
+	}
+	a := mustNew(t, shards, Options{})
+	b := mustNew(t, reversed, Options{})
+	for _, k := range keys(500) {
+		sa := a.Lookup(k, 3)
+		sb := b.Lookup(k, 3)
+		if len(sa) != len(sb) {
+			t.Fatalf("key %q: lookup lengths differ: %v vs %v", k, sa, sb)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("key %q: placement differs at %d: %v vs %v", k, i, sa, sb)
+			}
+		}
+	}
+}
+
+// TestDeterminismGolden pins a handful of placements to literal values: if
+// the hash function, vnode key format or tie-break ever changes, this
+// fails — placement is a wire-compatibility contract between gate
+// processes, not an implementation detail.
+func TestDeterminismGolden(t *testing.T) {
+	r := mustNew(t, []string{"alpha:1", "beta:2", "gamma:3"}, Options{})
+	want := map[string]string{
+		"field/0/run-0": "beta:2",
+		"field/1/run-1": "alpha:1",
+		"field/2/run-2": "gamma:3",
+		"miranda":       "beta:2",
+		"":              "alpha:1",
+	}
+	for k, w := range want {
+		if got := r.Owner(k); got != w {
+			t.Errorf("Owner(%q) = %q, want %q", k, got, w)
+		}
+	}
+}
+
+func TestLookupDistinctReplicas(t *testing.T) {
+	r := mustNew(t, shardNames(4), Options{})
+	for _, k := range keys(100) {
+		got := r.Lookup(k, 4)
+		if len(got) != 4 {
+			t.Fatalf("Lookup(%q, 4) returned %d shards", k, len(got))
+		}
+		seen := map[string]bool{}
+		for _, s := range got {
+			if seen[s] {
+				t.Fatalf("Lookup(%q, 4) repeats shard %s: %v", k, s, got)
+			}
+			seen[s] = true
+		}
+	}
+	// Asking for more replicas than shards clamps.
+	if got := r.Lookup("k", 99); len(got) != 4 {
+		t.Fatalf("Lookup(k, 99) returned %d shards, want 4", len(got))
+	}
+}
+
+func TestOwnerIsFirstReplica(t *testing.T) {
+	r := mustNew(t, shardNames(5), Options{})
+	for _, k := range keys(100) {
+		if r.Owner(k) != r.Lookup(k, 2)[0] {
+			t.Fatalf("Owner(%q) != Lookup(%q, 2)[0]", k, k)
+		}
+	}
+}

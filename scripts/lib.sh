@@ -1,0 +1,82 @@
+# lib.sh — shared boot/poll/teardown helpers for the smoke scripts.
+# Sourced (not executed) by smoke.sh and smoke_fleet.sh. POSIX sh.
+#
+# Callers may set SMOKE_LOG_DIR to collect server logs somewhere CI can
+# upload as artifacts; by default logs land in the caller's $workdir and
+# vanish with it.
+
+# log_path NAME: where NAME's server log lives.
+log_path() {
+    echo "${SMOKE_LOG_DIR:-${workdir:?log_path: set workdir or SMOKE_LOG_DIR}}/$1.log"
+}
+
+# dump_log NAME: tail NAME's log to stderr for post-mortem diagnostics.
+dump_log() {
+    _f=$(log_path "$1")
+    if [ -f "$_f" ]; then
+        echo "---- $1 log ($_f, last 100 lines) ----" >&2
+        tail -n 100 "$_f" >&2
+        echo "---- end $1 log ----" >&2
+    else
+        echo "---- no log for $1 at $_f ----" >&2
+    fi
+}
+
+# random_port [SALT]: pseudo-random loopback port derived from the pid,
+# salted so one script can pick several distinct ports.
+random_port() {
+    echo $((20000 + ($$ + ${1:-0} * 131) % 20000))
+}
+
+# wait_healthz NAME ADDR PID [DEADLINE_TENTHS]: poll http://ADDR/healthz
+# until it answers 200. Fails — dumping NAME's log — when the process
+# dies first or the deadline (default 10s) passes, so a wedged boot never
+# hangs the script and always leaves a diagnostic.
+wait_healthz() {
+    _name=$1; _addr=$2; _pid=$3; _deadline=${4:-100}
+    _i=0
+    until curl -fsS -o /dev/null "http://$_addr/healthz" 2>/dev/null; do
+        _i=$((_i + 1))
+        if [ "$_i" -ge "$_deadline" ]; then
+            echo "smoke: $_name never became healthy on $_addr within $((_deadline / 10))s" >&2
+            dump_log "$_name"
+            return 1
+        fi
+        if ! kill -0 "$_pid" 2>/dev/null; then
+            echo "smoke: $_name exited before becoming healthy" >&2
+            dump_log "$_name"
+            return 1
+        fi
+        sleep 0.1
+    done
+}
+
+# wait_for NAME DEADLINE_TENTHS CMD...: poll CMD until it succeeds;
+# after the deadline, dump NAME's log and fail.
+wait_for() {
+    _name=$1; _deadline=$2; shift 2
+    _i=0
+    until "$@" 2>/dev/null; do
+        _i=$((_i + 1))
+        if [ "$_i" -ge "$_deadline" ]; then
+            echo "smoke: $_name: condition never held: $*" >&2
+            dump_log "$_name"
+            return 1
+        fi
+        sleep 0.1
+    done
+}
+
+# stop_graceful NAME PID: SIGTERM, wait, and require a zero exit — the
+# graceful-drain contract every server in this repo makes.
+stop_graceful() {
+    _name=$1; _pid=$2
+    kill -TERM "$_pid" 2>/dev/null || true
+    _status=0
+    wait "$_pid" || _status=$?
+    if [ "$_status" -ne 0 ]; then
+        echo "smoke: $_name exited $_status after SIGTERM, want 0" >&2
+        dump_log "$_name"
+        return 1
+    fi
+}

@@ -4,10 +4,17 @@
 # mounted, hit the core endpoints (including /v1/predict and a SIGHUP
 # hot reload to a second model version) and shut down gracefully. Any
 # non-200 answer or a non-zero server exit fails the script. Pure sh + curl.
+#
+# Boot/poll/teardown helpers live in scripts/lib.sh (shared with
+# smoke_fleet.sh); every wait is bounded and dumps the server log on
+# timeout. Set SMOKE_LOG_DIR to keep logs after the run (CI uploads them
+# as artifacts on failure).
 set -eu
 
+scriptdir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 bindir=$(mktemp -d)
 workdir=$(mktemp -d)
+. "$scriptdir/lib.sh"
 server_pid=
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
@@ -26,26 +33,12 @@ echo "== caroltrain: publish model version 1"
     -datasets miranda:velocityx -dims 16x16x8 -bounds 6 -bo-iters 2 \
     -forest-cap 8 -kfolds 2 -seed 7
 
-port=$((20000 + $$ % 20000))
-addr="127.0.0.1:$port"
+addr="127.0.0.1:$(random_port)"
 echo "== boot carolserve on $addr with -model-dir"
-"$bindir/carolserve" -addr "$addr" -model-dir "$workdir/models" &
+"$bindir/carolserve" -addr "$addr" -model-dir "$workdir/models" \
+    >"$(log_path carolserve)" 2>&1 &
 server_pid=$!
-
-# Wait for the listener (up to ~5s).
-i=0
-until curl -fsS -o /dev/null "http://$addr/healthz" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "smoke: server never became healthy on $addr" >&2
-        exit 1
-    fi
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        echo "smoke: server exited before becoming healthy" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_healthz carolserve "$addr" "$server_pid"
 
 echo "== GET /v1/codecs"
 curl -fsS "http://$addr/v1/codecs"
@@ -113,15 +106,7 @@ echo "== caroltrain: publish model version 2, then SIGHUP hot reload"
     -datasets miranda:velocityx -dims 16x16x8 -bounds 6 -bo-iters 2 \
     -forest-cap 8 -kfolds 2 -seed 8
 kill -HUP "$server_pid"
-i=0
-until curl -fsS "http://$addr/v1/models" | grep -q '"version":2'; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "smoke: server never swapped to model version 2 after SIGHUP" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_for carolserve 50 sh -c "curl -fsS 'http://$addr/v1/models' | grep -q '\"version\":2'"
 curl -fsS --data-binary @"$workdir/field.raw" \
     "http://$addr/v1/predict?ratio=10,100&dims=32x32x1" | grep -q '"version":2' || {
     echo "smoke: /v1/predict still serving old version after reload" >&2
@@ -131,7 +116,8 @@ curl -fsS --data-binary @"$workdir/field.raw" \
 echo "== GET /metrics"
 curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
 for metric in http_requests_total http_request_seconds_bucket codec_compress_seconds \
-    model_loaded_version model_load_total model_predict_seconds model_forest_trees; do
+    model_loaded_version model_load_total model_predict_seconds model_forest_trees \
+    carol_model_version; do
     grep -q "$metric" "$workdir/metrics.txt" || {
         echo "smoke: /metrics missing $metric" >&2
         exit 1
@@ -143,12 +129,6 @@ echo "== GET /debug/vars"
 curl -fsS -o /dev/null "http://$addr/debug/vars"
 
 echo "== graceful shutdown (SIGTERM)"
-kill -TERM "$server_pid"
-status=0
-wait "$server_pid" || status=$?
+stop_graceful carolserve "$server_pid"
 server_pid=
-if [ "$status" -ne 0 ]; then
-    echo "smoke: server exited $status after SIGTERM, want 0" >&2
-    exit 1
-fi
 echo "== smoke passed"
