@@ -1,4 +1,4 @@
-.PHONY: check build vet lint test race bench-rf bench-model bench-codecs bench-gate
+.PHONY: check build vet lint test race bench-rf bench-model bench-codecs bench-gate bench-select
 
 check: ## build + vet + race-enabled tests + carollint (the tier-1 gate)
 	./scripts/check.sh
@@ -44,3 +44,9 @@ bench-codecs:
 bench-gate:
 	go test -run '^$$' -bench 'BenchmarkRing|BenchmarkGateRoute' -benchmem \
 		./internal/ring/ ./cmd/carolgate/
+
+# The adaptive-selection benchmarks whose numbers are committed to
+# BENCH_SELECT.json: the lock-held decide/observe hot paths (must stay
+# allocation-free) and the full surrogate-scored Select.
+bench-select:
+	go test -run '^$$' -bench 'BenchmarkAutoSelect' -benchmem ./internal/selector/

@@ -16,6 +16,12 @@
 //
 //	carolc -stream -compressor sz3 -dims 256x256x256 -eb 1e-3 -in data.f32 -out data.cpl
 //
+// Let the adaptive selector pick the codec (prints the choice and the
+// predicted ratio; decompression sniffs the codec from the stream magic):
+//
+//	carolc -codec auto -dims 256x256x256 -eb 1e-3 -in data.f32 -out data.carolc
+//	carolc -d -codec auto -in data.carolc -out restored.f32
+//
 // Decompress (CPL1 containers are auto-detected):
 //
 //	carolc -d -compressor sz3 -in data.sz3c -out restored.f32
@@ -31,6 +37,9 @@ import (
 	"strings"
 
 	"carol"
+	"carol/internal/compressor"
+	"carol/internal/selector"
+	"carol/internal/szp"
 	"carol/internal/trainset"
 )
 
@@ -43,6 +52,9 @@ func main() {
 
 func run() error {
 	comp := flag.String("compressor", "sz3", "compressor: szx, zfp, sz3, sperr, szp")
+	codec := flag.String("codec", "",
+		"alias for -compressor; \"auto\" selects adaptively (-eb compress, sniffed -d)")
+	selectorSeed := flag.Uint64("selector-seed", 1, "RNG seed for -codec auto exploration")
 	dims := flag.String("dims", "", "grid dims NXxNYxNZ (compression only)")
 	eb := flag.Float64("eb", 0, "value-range-relative error bound")
 	ratio := flag.Float64("ratio", 0, "target compression ratio (fixed-ratio mode)")
@@ -55,14 +67,18 @@ func run() error {
 	verify := flag.String("verify", "", "original raw file: decompress -in and print a quality report against it")
 	flag.Parse()
 
+	name := *comp
+	if *codec != "" {
+		name = *codec
+	}
 	if *verify != "" {
-		return doVerify(*comp, *in, *verify, *dims)
+		return doVerify(name, *in, *verify, *dims)
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("need -in and -out")
 	}
 	if *decompress {
-		return doDecompress(*comp, *in, *out, *workers)
+		return doDecompress(name, *in, *out, *workers)
 	}
 	nx, ny, nz, err := parseDims(*dims)
 	if err != nil {
@@ -78,18 +94,29 @@ func run() error {
 		return err
 	}
 
+	if name == "auto" {
+		switch {
+		case *ratio > 0:
+			return fmt.Errorf("-codec auto needs -eb; fixed-ratio mode trains per codec, pass one explicitly")
+		case *stream:
+			return fmt.Errorf("-codec auto cannot write CPL1 containers (they do not name their codec); pass a codec with -stream")
+		case !(*eb > 0):
+			return fmt.Errorf("-codec auto needs -eb")
+		}
+		return doCompressAuto(f, *eb, *out, *selectorSeed)
+	}
 	if *stream {
 		if !(*eb > 0) {
 			return fmt.Errorf("-stream needs -eb")
 		}
-		return doCompressStream(*comp, f, *eb, *out, *workers)
+		return doCompressStream(name, f, *eb, *out, *workers)
 	}
 	var blob []byte
 	switch {
 	case *ratio > 0:
-		blob, err = compressToRatio(*comp, f, *ratio)
+		blob, err = compressToRatio(name, f, *ratio)
 	case *eb > 0:
-		blob, err = carol.Compress(*comp, f, *eb)
+		blob, err = carol.Compress(name, f, *eb)
 	default:
 		return fmt.Errorf("need -eb or -ratio")
 	}
@@ -100,8 +127,60 @@ func run() error {
 		return err
 	}
 	fmt.Printf("%s: %d -> %d bytes (ratio %.2f)\n",
-		*comp, f.SizeBytes(), len(blob), carol.Ratio(f, blob))
+		name, f.SizeBytes(), len(blob), carol.Ratio(f, blob))
 	return nil
+}
+
+// doCompressAuto lets the bandit selector score every registered codec on
+// the field's own features and compress with the cheapest one predicted to
+// behave; the achieved ratio is fed back so a long-running shell loop over
+// many files sharpens the estimates within the process.
+func doCompressAuto(f *carol.Field, relEB float64, out string, seed uint64) error {
+	sel, err := selector.New(selector.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	abs := compressor.AbsBound(f, relEB)
+	dec, err := sel.Select(f, abs, 0)
+	if err != nil {
+		return err
+	}
+	if p := dec.PredictedRatio(); p > 0 {
+		fmt.Printf("auto: chose %s (predicted ratio %.2f)\n", dec.Codec, p)
+	} else {
+		fmt.Printf("auto: chose %s (fallback, no usable estimate)\n", dec.Codec)
+	}
+	blob, err := carol.Compress(dec.Codec, f, relEB)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	achieved := carol.Ratio(f, blob)
+	sel.Observe(dec, achieved)
+	fmt.Printf("%s: %d -> %d bytes (ratio %.2f)\n",
+		dec.Codec, f.SizeBytes(), len(blob), achieved)
+	return nil
+}
+
+// sniffCodec maps a stream's leading magic byte back to the codec that
+// wrote it, so -d -codec auto round-trips without the user remembering
+// which codec the selector picked at compress time.
+func sniffCodec(magic byte) (string, error) {
+	switch magic {
+	case compressor.MagicSZx:
+		return "szx", nil
+	case compressor.MagicZFP:
+		return "zfp", nil
+	case compressor.MagicSZ3:
+		return "sz3", nil
+	case compressor.MagicSPERR:
+		return "sperr", nil
+	case szp.MagicSZP:
+		return "szp", nil
+	}
+	return "", fmt.Errorf("unrecognized stream magic 0x%02X; pass the codec explicitly", magic)
 }
 
 // doCompressStream writes the CPL1 pipeline container straight to the
@@ -187,11 +266,25 @@ func doDecompress(comp, in, out string, workers int) error {
 
 // decodeAny decodes either a CPL1 pipeline container (detected by magic,
 // decoded block-streaming without buffering the input in full) or a plain
-// codec stream.
+// codec stream. With comp == "auto" the codec is sniffed from the stream's
+// leading magic byte — except for CPL1 containers, which carry no codec
+// name and need one passed explicitly.
 func decodeAny(comp string, r io.Reader, workers int) (*carol.Field, error) {
 	br := bufio.NewReader(r)
 	if peek, err := br.Peek(4); err == nil && string(peek) == "CPL1" {
+		if comp == "auto" {
+			return nil, fmt.Errorf("CPL1 containers do not name their codec; pass one with -codec or -compressor")
+		}
 		return carol.DecompressStream(comp, br, carol.StreamOptions{Workers: workers})
+	}
+	if comp == "auto" {
+		peek, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("sniff codec: %w", err)
+		}
+		if comp, err = sniffCodec(peek[0]); err != nil {
+			return nil, err
+		}
 	}
 	stream, err := io.ReadAll(br)
 	if err != nil {

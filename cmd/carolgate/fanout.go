@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"carol/internal/field"
 	"carol/internal/obs"
 	"carol/internal/pipeline"
+	"carol/internal/selector"
 )
 
 // parseDims parses NXxNYxNZ (same grammar as carolserve).
@@ -74,7 +76,7 @@ func (g *gate) handleCompress(w http.ResponseWriter, r *http.Request) {
 		g.proxyWhole(w, r, routeKey(r), body)
 		return
 	}
-	out, err := g.chunkCompress(q, routeKey(r), body, healthy)
+	out, chosen, err := g.chunkCompress(q, routeKey(r), body, healthy)
 	if err != nil {
 		g.failed("/v1/compress").Inc()
 		if errors.Is(err, errBadRequest) {
@@ -86,6 +88,9 @@ func (g *gate) handleCompress(w http.ResponseWriter, r *http.Request) {
 	}
 	g.routed("/v1/compress").Inc()
 	w.Header().Set("Content-Type", "application/octet-stream")
+	if chosen != "" {
+		w.Header().Set("X-Carol-Codec-Chosen", chosen)
+	}
 	w.Header().Set("X-Carol-Achieved-Ratio",
 		strconv.FormatFloat(float64(len(body))/float64(len(out)), 'g', 6, 64))
 	w.Header().Set("X-Carol-Fanout-Chunks", strconv.Itoa(len(healthy)))
@@ -100,28 +105,58 @@ var errBadRequest = errors.New("bad request")
 // chunkCompress is the slab fan-out shared by the synchronous handler and
 // the async job path: parse, pin the whole-field bound, split one slab
 // per healthy shard, compress each on the shard owning its ring key, and
-// assemble the CCH1 container.
-func (g *gate) chunkCompress(q url.Values, baseKey string, body []byte, healthy []string) ([]byte, error) {
+// assemble the CCH1 container. mode=auto resolves the codec HERE, before
+// the field splits: the selector scores the whole field once, and every
+// slab is compressed with the single chosen codec (a per-slab choice would
+// produce a mixed container no single-codec decompress could open). The
+// returned chosen name is empty for static-codec requests.
+func (g *gate) chunkCompress(q url.Values, baseKey string, body []byte, healthy []string) ([]byte, string, error) {
 	tr := g.reg.StartTrace("gate_compress_fanout")
 	defer tr.End()
 	nx, ny, nz, err := parseDims(q.Get("dims"))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		return nil, "", fmt.Errorf("%w: %v", errBadRequest, err)
 	}
 	span := tr.StartSpan("parse")
 	ff, err := field.ReadRaw("gate", nx, ny, nz, bytes.NewReader(body))
 	span.End()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		return nil, "", fmt.Errorf("%w: %v", errBadRequest, err)
 	}
 	span = tr.StartSpan("split")
 	eb, err := gateAbsBound(ff, q)
 	if err != nil {
 		span.End()
-		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		return nil, "", fmt.Errorf("%w: %v", errBadRequest, err)
 	}
 	slabs := pipeline.SplitField(ff, len(healthy))
 	span.End()
+
+	codecName, chosen := q.Get("codec"), ""
+	var decision selector.Decision
+	switch q.Get("mode") {
+	case "":
+	case "auto":
+		if codecName != "" {
+			return nil, "", fmt.Errorf("%w: mode=auto and codec= are mutually exclusive", errBadRequest)
+		}
+		targetRatio := 0.0
+		if ts := q.Get("target"); ts != "" {
+			targetRatio, err = strconv.ParseFloat(ts, 64)
+			if err != nil || targetRatio <= 0 || math.IsInf(targetRatio, 0) {
+				return nil, "", fmt.Errorf("%w: bad target", errBadRequest)
+			}
+		}
+		span = tr.StartSpan("select")
+		decision, err = g.sel.Select(ff, eb, targetRatio)
+		span.End()
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		codecName, chosen = decision.Codec, decision.Codec
+	default:
+		return nil, "", fmt.Errorf("%w: bad mode %q (only \"auto\")", errBadRequest, q.Get("mode"))
+	}
 
 	cands := g.ring.Lookup(baseKey, g.ring.Len())
 	g.fanned.Inc()
@@ -134,7 +169,7 @@ func (g *gate) chunkCompress(q url.Values, baseKey string, body []byte, healthy 
 			return nil, err
 		}
 		pq := url.Values{}
-		pq.Set("codec", q.Get("codec"))
+		pq.Set("codec", codecName)
 		pq.Set("abs", strconv.FormatFloat(eb, 'g', 17, 64))
 		pq.Set("dims", fmt.Sprintf("%dx%dx%d", slab.Nx, slab.Ny, slab.Nz))
 		resp, err := g.routeCandidates(slabCandidates(cands, i),
@@ -149,10 +184,16 @@ func (g *gate) chunkCompress(q url.Values, baseKey string, body []byte, healthy 
 	})
 	span.End()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	g.reg.Histogram("gate_fanout_chunks", obs.LinearBuckets(1, 1, 16)).Observe(float64(len(streams)))
-	return chunked.Assemble(nx, ny, nz, streams), nil
+	out := chunked.Assemble(nx, ny, nz, streams)
+	if chosen != "" {
+		// Close the bandit loop with the end-to-end achieved ratio of the
+		// assembled container — the number the client actually sees.
+		g.sel.Observe(decision, float64(len(body))/float64(len(out)))
+	}
+	return out, chosen, nil
 }
 
 // slabCandidates rotates the base key's replica walk by the slab index:

@@ -12,6 +12,7 @@ import (
 	"carol/internal/obs"
 	"carol/internal/ring"
 	"carol/internal/safedec"
+	"carol/internal/selector"
 )
 
 // maxBody caps request bodies the gate will buffer (512 MiB of float32
@@ -38,6 +39,13 @@ type gateConfig struct {
 	jobWorkers  int
 	jobQueue    int
 	tenantQuota int
+
+	// selectorSeed/selectorEpsilon configure the gate's own mode=auto
+	// chooser, used on the slab fan-out path where the codec must be
+	// resolved once before the field splits (every slab of one field uses
+	// one codec). Whole-routed auto requests are decided by the shard.
+	selectorSeed    uint64
+	selectorEpsilon float64
 
 	// proxyLimits bounds what the gate will allocate from client- or
 	// shard-claimed sizes (container headers on the decompress fan-out
@@ -66,6 +74,8 @@ func defaultGateConfig() gateConfig {
 		jobWorkers:        2,
 		jobQueue:          64,
 		tenantQuota:       8,
+		selectorSeed:      1,
+		selectorEpsilon:   0.05,
 		proxyLimits: safedec.Limits{
 			MaxElements: maxBody / 4,
 			MaxAlloc:    1 << 30,
@@ -88,6 +98,7 @@ type gate struct {
 	shards  map[string]*shardState
 	client  *http.Client
 	queue   *jobs.Queue
+	sel     *selector.Selector
 	reg     *obs.Registry
 	sem     chan struct{}
 	handler http.Handler
@@ -133,6 +144,11 @@ func newGate(cfg gateConfig, shardURLs []string) (*gate, error) {
 		retried:      obs.Default.Counter("gate_retried_total"),
 		fanned:       obs.Default.Counter("gate_fanout_total"),
 	}
+	sel, err := selector.New(selector.Config{Seed: cfg.selectorSeed, Epsilon: cfg.selectorEpsilon})
+	if err != nil {
+		return nil, err
+	}
+	g.sel = sel
 	g.routed = func(endpoint string) *obs.Counter {
 		return g.reg.Counter(obs.Label("gate_routed_total", "endpoint", endpoint))
 	}
@@ -158,6 +174,7 @@ func newGate(cfg gateConfig, shardURLs []string) (*gate, error) {
 	mux.HandleFunc("/v1/jobs/compress", g.handleJobSubmit)
 	mux.HandleFunc("/v1/jobs/", g.handleJobGet)
 	mux.HandleFunc("/v1/fleet", g.handleFleet)
+	mux.HandleFunc("/v1/selector", g.handleSelector)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/debug/vars", g.handleVars)
 	mux.HandleFunc("/healthz", handleHealthz)
@@ -176,8 +193,8 @@ func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/compress", "/v1/decompress", "/v1/estimate", "/v1/predict",
-		"/v1/models", "/v1/codecs", "/v1/fleet", "/metrics", "/debug/vars",
-		"/healthz", "/readyz":
+		"/v1/models", "/v1/codecs", "/v1/fleet", "/v1/selector", "/metrics",
+		"/debug/vars", "/healthz", "/readyz":
 		return path
 	}
 	if path == "/v1/jobs/compress" {
@@ -297,6 +314,20 @@ func handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := w.Write([]byte("ok\n")); err != nil {
 		log.Printf("carolgate: healthz write: %v", err)
+	}
+}
+
+// handleSelector exposes the gate's own mode=auto bandit state — the one
+// that decides slab fan-outs. Shard-local decisions live on each shard's
+// /v1/selector.
+func (g *gate) handleSelector(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(g.sel.Stats()); err != nil {
+		log.Printf("carolgate: selector encode: %v", err)
 	}
 }
 

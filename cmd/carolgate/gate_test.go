@@ -42,6 +42,9 @@ type fakeShard struct {
 	// blockCompress, when non-nil, parks /v1/compress until closed — used
 	// to hold jobs in flight for admission-control tests.
 	blockCompress chan struct{}
+	// lastCompressQuery records the most recent /v1/compress query string,
+	// so fan-out tests can assert what the gate actually forwarded.
+	lastCompressQuery atomic.Value
 }
 
 func newFakeShard(t *testing.T) *fakeShard {
@@ -65,6 +68,12 @@ func newFakeShard(t *testing.T) *fakeShard {
 			return
 		}
 		fs.compresses.Add(1)
+		fs.lastCompressQuery.Store(r.URL.RawQuery)
+		// A real carolserve resolves mode=auto itself and names its pick;
+		// the fake always "chooses" szx so header relaying is observable.
+		if r.URL.Query().Get("mode") == "auto" {
+			w.Header().Set("X-Carol-Codec-Chosen", "szx")
+		}
 		w.Header().Set("X-Carol-Achieved-Ratio", "1")
 		if _, err := w.Write(append([]byte(fakeStreamMagic), body...)); err != nil {
 			t.Logf("fake shard write: %v", err)

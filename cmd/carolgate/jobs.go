@@ -65,7 +65,7 @@ func (g *gate) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// Snapshot the routing-relevant request state; the job outlives r.
 	query := r.URL.Query()
 	key := routeKey(r)
-	id, err := g.queue.Submit(tenant, "compress", func(ctx context.Context) ([]byte, error) {
+	id, err := g.queue.SubmitMeta(tenant, "compress", func(ctx context.Context) ([]byte, map[string]string, error) {
 		return g.compressJob(query, key, body)
 	})
 	if err != nil {
@@ -85,11 +85,17 @@ func (g *gate) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // compressJob is the queued work: same decision tree as handleCompress,
-// but returning bytes instead of writing a response.
-func (g *gate) compressJob(q url.Values, key string, body []byte) ([]byte, error) {
+// but returning bytes (plus result metadata — the mode=auto chosen codec,
+// whether the gate picked it for a fan-out or a shard picked it for a
+// whole-routed request) instead of writing a response.
+func (g *gate) compressJob(q url.Values, key string, body []byte) ([]byte, map[string]string, error) {
 	healthy := g.healthyShards()
 	if g.shouldChunk(q, len(body), len(healthy)) {
-		return g.chunkCompress(q, key, body, healthy)
+		out, chosen, err := g.chunkCompress(q, key, body, healthy)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, codecMeta(chosen), nil
 	}
 	pathAndQuery := "/v1/compress"
 	if enc := q.Encode(); enc != "" {
@@ -97,12 +103,21 @@ func (g *gate) compressJob(q url.Values, key string, body []byte) ([]byte, error
 	}
 	resp, err := g.routeWithRetry(key, http.MethodPost, pathAndQuery, body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.status != http.StatusOK {
-		return nil, fmt.Errorf("shard status %d: %s", resp.status, truncate(resp.body))
+		return nil, nil, fmt.Errorf("shard status %d: %s", resp.status, truncate(resp.body))
 	}
-	return resp.body, nil
+	return resp.body, codecMeta(resp.header.Get("X-Carol-Codec-Chosen")), nil
+}
+
+// codecMeta wraps a chosen-codec name as job result metadata (nil when no
+// adaptive selection happened).
+func codecMeta(chosen string) map[string]string {
+	if chosen == "" {
+		return nil
+	}
+	return map[string]string{"codec": chosen}
 }
 
 // jobAdmissionError maps queue refusals: full queue → 503 (come back),
@@ -173,6 +188,9 @@ func (g *gate) serveJobResult(w http.ResponseWriter, id string) {
 	default: // StateDone
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Carol-Job-Id", id)
+		if c := st.Meta["codec"]; c != "" {
+			w.Header().Set("X-Carol-Codec-Chosen", c)
+		}
 		if _, err := w.Write(res); err != nil {
 			log.Printf("carolgate: job result write: %v", err)
 		}

@@ -11,6 +11,11 @@
 //
 //	POST /v1/compress?codec=..&rel=..&dims=..     -> routed to one shard, or
 //	     slab-fanned across the fleet when the field is large enough
+//	POST /v1/compress?mode=auto&rel=..&dims=..    -> adaptive codec selection:
+//	     fanned fields are scored by the gate's own selector BEFORE the slab
+//	     split (all slabs of one field use the one chosen codec,
+//	     X-Carol-Codec-Chosen names it); whole-routed fields are decided by
+//	     the owning shard and its header is relayed
 //	POST /v1/decompress?codec=..                  -> CCH1 containers fan chunks
 //	     out to their shards; everything else routes whole
 //	POST /v1/estimate, /v1/predict                -> routed whole
@@ -19,6 +24,7 @@
 //	GET  /v1/jobs/{id}                            -> JSON job status
 //	GET  /v1/jobs/{id}/result                     -> result stream once done
 //	GET  /v1/fleet                                -> shard health + model versions
+//	GET  /v1/selector                             -> gate-local mode=auto bandit state
 //	GET  /metrics, /debug/vars                    -> gate metrics
 //	GET  /healthz                                 -> gate liveness
 //	GET  /readyz                                  -> 200 once >=1 shard healthy
@@ -68,6 +74,10 @@ func main() {
 		"maximum queued async jobs (503 beyond)")
 	flag.IntVar(&cfg.tenantQuota, "tenant-quota", cfg.tenantQuota,
 		"maximum queued+running async jobs per tenant (429 beyond)")
+	flag.Uint64Var(&cfg.selectorSeed, "selector-seed", cfg.selectorSeed,
+		"seed for the gate's mode=auto exploration RNG (fan-out path); fixed seed = reproducible decisions")
+	flag.Float64Var(&cfg.selectorEpsilon, "selector-epsilon", cfg.selectorEpsilon,
+		"gate mode=auto exploration probability (negative disables exploration)")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", cfg.readTimeout, "full-request read timeout")
 	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", cfg.readHeaderTimeout, "request-header read timeout")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", cfg.writeTimeout, "response write timeout")

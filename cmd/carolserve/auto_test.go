@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"carol/internal/codecs"
+	"carol/internal/compressor"
+	"carol/internal/field"
+	"carol/internal/pipeline"
+)
+
+// knownCodec reports whether name is in the registered extended set.
+func knownCodec(name string) bool {
+	for _, n := range codecs.ExtendedNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAutoCompressSync: mode=auto picks a registered codec, reports it in
+// X-Carol-Codec-Chosen, the stream round-trips through /v1/decompress with
+// that codec within bound, and /v1/selector shows the decision.
+func TestAutoCompressSync(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	f, body := testBody(t)
+
+	resp, err := http.Post(srv.URL+"/v1/compress?mode=auto&rel=1e-3&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto compress: status %d, %v", resp.StatusCode, err)
+	}
+	chosen := resp.Header.Get("X-Carol-Codec-Chosen")
+	if !knownCodec(chosen) {
+		t.Fatalf("X-Carol-Codec-Chosen = %q, not a registered codec", chosen)
+	}
+	if resp.Header.Get("X-Carol-Achieved-Ratio") == "" {
+		t.Error("missing X-Carol-Achieved-Ratio")
+	}
+	if resp.Header.Get("X-Carol-Predicted-Ratio") == "" {
+		t.Error("missing X-Carol-Predicted-Ratio")
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/decompress?codec="+chosen,
+		"application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: status %d, %v", resp.StatusCode, err)
+	}
+	g, err := field.ReadRaw("rt", f.Nx, f.Ny, f.Nz, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, compressor.AbsBound(f, 1e-3)); err != nil {
+		t.Fatalf("auto round trip out of bound: %v", err)
+	}
+
+	sresp, err := http.Get(srv.URL + "/v1/selector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Decisions int64 `json:"decisions"`
+		Arms      []struct {
+			Codec    string `json:"codec"`
+			Outcomes int64  `json:"outcomes"`
+		} `json:"arms"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Decisions < 1 {
+		t.Fatalf("selector decisions = %d after auto request", stats.Decisions)
+	}
+	var sawOutcome bool
+	for _, a := range stats.Arms {
+		if a.Codec == chosen && a.Outcomes >= 1 {
+			sawOutcome = true
+		}
+	}
+	if !sawOutcome {
+		t.Errorf("no recorded outcome for chosen codec %s in %+v", chosen, stats.Arms)
+	}
+}
+
+// TestAutoCompressStream: mode=auto composes with stream=1 — the body is a
+// CPL1 container decodable with the chosen codec, and the feedback loop
+// still records the outcome.
+func TestAutoCompressStream(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	f, body := testBody(t)
+
+	resp, err := http.Post(srv.URL+"/v1/compress?mode=auto&rel=1e-3&stream=1&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto stream compress: status %d, %v", resp.StatusCode, err)
+	}
+	chosen := resp.Header.Get("X-Carol-Codec-Chosen")
+	if !knownCodec(chosen) {
+		t.Fatalf("X-Carol-Codec-Chosen = %q, not a registered codec", chosen)
+	}
+	if got := resp.Trailer.Get("X-Carol-Achieved-Ratio"); got == "" {
+		t.Error("missing X-Carol-Achieved-Ratio trailer")
+	}
+	if [4]byte(stream[:4]) != pipeline.Magic {
+		t.Fatalf("stream=1 body does not start with CPL1: % x", stream[:4])
+	}
+	codec, err := codecs.ByName(chosen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pipeline.New(codec, pipeline.Options{}).DecompressStream(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.CheckBound(f, g, compressor.AbsBound(f, 1e-3)); err != nil {
+		t.Fatalf("auto stream round trip out of bound: %v", err)
+	}
+}
+
+// TestAutoCompressTarget: target= asks for the cheapest codec predicted to
+// reach the ratio; the request must succeed and name a registered codec.
+func TestAutoCompressTarget(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	_, body := testBody(t)
+
+	resp, err := http.Post(srv.URL+"/v1/compress?mode=auto&rel=1e-2&target=4&dims=24x24x8",
+		"application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto target compress: status %d", resp.StatusCode)
+	}
+	if chosen := resp.Header.Get("X-Carol-Codec-Chosen"); !knownCodec(chosen) {
+		t.Fatalf("X-Carol-Codec-Chosen = %q", chosen)
+	}
+}
+
+// TestAutoCompressBadRequests: the mode=auto parameter surface rejects
+// malformed combinations with 400s, not panics or silent fallbacks.
+func TestAutoCompressBadRequests(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"bogus mode", "mode=banana&rel=1e-3&dims=8x8x1"},
+		{"auto with ratio", "mode=auto&ratio=10&dims=8x8x1"},
+		{"auto with codec", "mode=auto&codec=sz3&rel=1e-3&dims=8x8x1"},
+		{"auto without bound", "mode=auto&dims=8x8x1"},
+		{"bad target", "mode=auto&rel=1e-3&target=-2&dims=8x8x1"},
+		{"target without auto", "codec=sz3&rel=1e-3&target=4&dims=8x8x1"},
+	}
+	for _, tc := range cases {
+		body := bytes.NewReader(make([]byte, 8*8*4))
+		resp, err := http.Post(srv.URL+"/v1/compress?"+tc.query, "application/octet-stream", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
+	}
+}
+
+// TestSelectorEndpointMethod: /v1/selector is GET-only.
+func TestSelectorEndpointMethod(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/selector", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/selector = %d, want 405", resp.StatusCode)
+	}
+}

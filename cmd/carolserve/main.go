@@ -12,12 +12,18 @@
 //	     block-parallel, body streamed as blocks complete; optional workers=N;
 //	     X-Carol-Achieved-Ratio arrives as an HTTP trailer
 //	POST /v1/compress?codec=sz3&ratio=100&dims=128x128x64  -> stream (FRaZ search)
+//	POST /v1/compress?mode=auto&rel=1e-3&dims=...          -> adaptive codec selection:
+//	     every registered codec is scored via its SECRE surrogate, bias-corrected by
+//	     the online bandit, and the winner compresses; X-Carol-Codec-Chosen names it,
+//	     optional target=R asks for the cheapest codec predicted to reach ratio R;
+//	     composes with stream=1 (but not ratio=, which already self-selects the eb)
 //	POST /v1/decompress?codec=sz3                          -> raw float32
 //	     (CPL1 pipeline containers are auto-detected and decoded block-streaming)
 //	POST /v1/estimate?codec=sperr&rel=1e-3&dims=...        -> JSON ratio estimate
 //	POST /v1/predict?model=sz3&ratio=50,100&dims=...       -> JSON error-bound predictions
 //	GET  /v1/models                                        -> JSON loaded-model listing
 //	GET  /v1/codecs                                        -> JSON codec list
+//	GET  /v1/selector                                      -> JSON mode=auto bandit state
 //	GET  /metrics                                          -> text metrics exposition
 //	GET  /debug/vars                                       -> JSON metrics snapshot
 //	GET  /healthz                                          -> liveness probe
@@ -43,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -73,6 +80,10 @@ func main() {
 		"poll the model registry at this interval and hot-swap on change (0 disables; SIGHUP always works)")
 	flag.BoolVar(&cfg.trackEstimatorError, "track-estimator-error", cfg.trackEstimatorError,
 		"run the SECRE surrogate alongside rel= compresses and export estimate-vs-actual error gauges")
+	flag.Uint64Var(&cfg.selectorSeed, "selector-seed", cfg.selectorSeed,
+		"seed for the mode=auto exploration RNG; a fixed seed reproduces the decision sequence")
+	flag.Float64Var(&cfg.selectorEpsilon, "selector-epsilon", cfg.selectorEpsilon,
+		"mode=auto exploration probability (negative disables exploration)")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", cfg.readTimeout, "full-request read timeout")
 	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", cfg.readHeaderTimeout, "request-header read timeout")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", cfg.writeTimeout, "response write timeout")
@@ -222,11 +233,47 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	tr := s.reg.StartTrace("http_compress")
 	defer tr.End()
 	q := r.URL.Query()
-	codecName := q.Get("codec")
-	codec, err := codecs.ByName(codecName)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	auto := false
+	switch q.Get("mode") {
+	case "":
+	case "auto":
+		auto = true
+	default:
+		httpError(w, http.StatusBadRequest, "bad mode %q (only \"auto\")", q.Get("mode"))
 		return
+	}
+	var codec compressor.Codec
+	var err error
+	codecName := q.Get("codec")
+	if auto {
+		// ratio= runs its own FRaZ search per codec; combining it with
+		// selection is a different (and much more expensive) operation.
+		if q.Get("ratio") != "" {
+			httpError(w, http.StatusBadRequest, "mode=auto needs rel= or abs=, not ratio=")
+			return
+		}
+		if codecName != "" {
+			httpError(w, http.StatusBadRequest, "mode=auto and codec= are mutually exclusive")
+			return
+		}
+	} else {
+		codec, err = codecs.ByName(codecName)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	targetRatio := 0.0
+	if ts := q.Get("target"); ts != "" {
+		if !auto {
+			httpError(w, http.StatusBadRequest, "target= requires mode=auto")
+			return
+		}
+		targetRatio, err = strconv.ParseFloat(ts, 64)
+		if err != nil || targetRatio <= 0 || math.IsInf(targetRatio, 0) {
+			httpError(w, http.StatusBadRequest, "bad target")
+			return
+		}
 	}
 	span := tr.StartSpan("parse")
 	f, err := readFieldBody(r)
@@ -272,8 +319,34 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			}
 			eb = compressor.AbsBound(f, rel)
 		}
+		// Auto selection resolves the codec here, after the error bound is
+		// known: every candidate is scored by its SECRE surrogate at this
+		// exact (field, eb) and the bandit-corrected winner serves the
+		// request. The achieved ratio feeds back below.
+		var observe func(actual float64)
+		if auto {
+			span = tr.StartSpan("select")
+			dec, serr := s.selector.Select(f, eb, targetRatio)
+			span.End()
+			if serr != nil {
+				// The field and eb already passed parsing; a selection error
+				// means the input data itself is unusable (e.g. non-finite).
+				httpError(w, http.StatusBadRequest, "%v", serr)
+				return
+			}
+			codec, err = codecs.ByName(dec.Codec)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			w.Header().Set("X-Carol-Codec-Chosen", dec.Codec)
+			if p := dec.PredictedRatio(); p > 0 {
+				w.Header().Set("X-Carol-Predicted-Ratio", strconv.FormatFloat(p, 'g', 6, 64))
+			}
+			observe = func(actual float64) { s.selector.Observe(dec, actual) }
+		}
 		if q.Get("stream") != "" {
-			s.compressStreaming(w, r, tr, codec, f, eb)
+			s.compressStreaming(w, r, tr, codec, f, eb, observe)
 			return
 		}
 		span = tr.StartSpan("codec")
@@ -285,10 +358,14 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		}
 		actual := compressor.Ratio(f, stream)
 		w.Header().Set("X-Carol-Achieved-Ratio", strconv.FormatFloat(actual, 'g', 6, 64))
-		// Online estimator-error tracking (Underwood et al.'s black-box
-		// ratio-prediction metric): run the cheap sampled surrogate next to
-		// the full run we just paid for, and export the error.
-		if s.cfg.trackEstimatorError {
+		if observe != nil {
+			// Close the bandit loop: the selector compares its prediction
+			// against what the chosen codec actually delivered.
+			observe(actual)
+		} else if s.cfg.trackEstimatorError {
+			// Online estimator-error tracking (Underwood et al.'s black-box
+			// ratio-prediction metric): run the cheap sampled surrogate next to
+			// the full run we just paid for, and export the error.
 			if sur, serr := codecs.SurrogateByName(codecName); serr == nil {
 				span = tr.StartSpan("estimate")
 				est, eerr := sur.EstimateRatio(f, eb)
@@ -329,8 +406,9 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // written to the response as blocks complete, so peak memory holds the
 // input field plus a bounded window of compressed blocks — never the whole
 // stream. The achieved ratio is only known once the body has been sent, so
-// it travels as an HTTP trailer instead of a header.
-func (s *server) compressStreaming(w http.ResponseWriter, r *http.Request, tr *obs.Trace, codec compressor.Codec, f *field.Field, eb float64) {
+// it travels as an HTTP trailer instead of a header. A non-nil observe
+// receives the achieved ratio (the mode=auto feedback hook).
+func (s *server) compressStreaming(w http.ResponseWriter, r *http.Request, tr *obs.Trace, codec compressor.Codec, f *field.Field, eb float64, observe func(float64)) {
 	workers := 0
 	if ws := r.URL.Query().Get("workers"); ws != "" {
 		v, err := strconv.Atoi(ws)
@@ -357,8 +435,11 @@ func (s *server) compressStreaming(w http.ResponseWriter, r *http.Request, tr *o
 		log.Printf("carolserve: streaming compress: %v", err)
 		return
 	}
-	w.Header().Set("X-Carol-Achieved-Ratio",
-		strconv.FormatFloat(float64(f.SizeBytes())/float64(cw.n), 'g', 6, 64))
+	actual := float64(f.SizeBytes()) / float64(cw.n)
+	if observe != nil {
+		observe(actual)
+	}
+	w.Header().Set("X-Carol-Achieved-Ratio", strconv.FormatFloat(actual, 'g', 6, 64))
 	w.Header().Set("X-Carol-Trace", tr.String())
 }
 

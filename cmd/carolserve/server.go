@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"log"
 	"net/http"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 
 	"carol/internal/obs"
 	"carol/internal/safedec"
+	"carol/internal/selector"
 )
 
 // config carries the server hardening knobs, set from flags in main and
@@ -36,6 +38,14 @@ type config struct {
 	// fan-out. Zero disables the poll (SIGHUP still works).
 	registryWatch time.Duration
 
+	// selectorSeed seeds the mode=auto bandit's exploration RNG — a fixed
+	// seed makes the decision sequence reproducible (tests and the smoke
+	// fleet pin outcomes on it).
+	selectorSeed uint64
+	// selectorEpsilon is the mode=auto exploration probability; negative
+	// disables exploration entirely.
+	selectorEpsilon float64
+
 	readTimeout       time.Duration
 	readHeaderTimeout time.Duration
 	writeTimeout      time.Duration
@@ -58,6 +68,8 @@ func defaultConfig() config {
 			MaxAlloc:    1 << 30,
 			MaxCount:    1 << 16,
 		},
+		selectorSeed:      1,
+		selectorEpsilon:   0.05,
 		readTimeout:       5 * time.Minute,
 		readHeaderTimeout: 10 * time.Second,
 		writeTimeout:      10 * time.Minute,
@@ -77,6 +89,8 @@ type server struct {
 	handler http.Handler
 	// models is the hot-swappable model store, nil without -model-dir.
 	models *modelStore
+	// selector is the mode=auto adaptive codec chooser (DESIGN.md §16).
+	selector *selector.Selector
 
 	inflight  *obs.Gauge
 	throttled *obs.Counter
@@ -111,6 +125,12 @@ func newServerWith(cfg config) *server {
 	if cfg.modelDir != "" {
 		s.models = newModelStore(cfg.modelDir, cfg.decodeLimits)
 	}
+	sel, err := selector.New(selector.Config{Seed: cfg.selectorSeed, Epsilon: cfg.selectorEpsilon})
+	if err != nil {
+		// Only reachable with a broken built-in codec registry.
+		panic("carolserve: selector: " + err.Error())
+	}
+	s.selector = sel
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/codecs", s.handleCodecs)
 	mux.HandleFunc("/v1/compress", s.handleCompress)
@@ -118,6 +138,7 @@ func newServerWith(cfg config) *server {
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/selector", s.handleSelector)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/healthz", handleHealthz)
@@ -137,7 +158,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/codecs", "/v1/compress", "/v1/decompress", "/v1/estimate",
-		"/v1/models", "/v1/predict", "/metrics", "/debug/vars",
+		"/v1/models", "/v1/predict", "/v1/selector", "/metrics", "/debug/vars",
 		"/healthz", "/readyz":
 		return path
 	}
@@ -251,6 +272,20 @@ func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.reg.WriteJSON(w); err != nil {
 		log.Printf("carolserve: vars write: %v", err)
+	}
+}
+
+// handleSelector exposes the mode=auto bandit state: candidate set, seed,
+// decision/exploration counters and every active (codec, shape-bucket) arm
+// with its learned bias — the debug view for "why did auto pick that".
+func (s *server) handleSelector(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.selector.Stats()); err != nil {
+		log.Printf("carolserve: selector encode: %v", err)
 	}
 }
 

@@ -59,6 +59,11 @@ var (
 // streamable result.
 type Func func(ctx context.Context) ([]byte, error)
 
+// MetaFunc is a Func that also returns bounded key/value result metadata
+// (e.g. which codec an adaptive compress chose), surfaced in Status.Meta
+// once the job is done. Submit wraps plain Funcs into this shape.
+type MetaFunc func(ctx context.Context) ([]byte, map[string]string, error)
+
 // Options tunes a Queue. Zero values take defaults.
 type Options struct {
 	// MaxQueued bounds jobs admitted but not yet running. Default 64.
@@ -106,6 +111,9 @@ type Status struct {
 	Finished int64   `json:"finished_unix_ms,omitempty"`
 	Bytes    int     `json:"result_bytes,omitempty"`
 	Seconds  float64 `json:"run_seconds,omitempty"`
+	// Meta carries the job's result metadata (MetaFunc jobs only), present
+	// once the job is Done.
+	Meta map[string]string `json:"meta,omitempty"`
 }
 
 // job is the internal record. All fields after creation are guarded by
@@ -115,13 +123,14 @@ type job struct {
 	id     string
 	tenant string
 	kind   string
-	fn     Func
+	fn     MetaFunc
 
 	state    State
 	queued   time.Time
 	started  time.Time
 	finished time.Time
 	result   []byte
+	meta     map[string]string
 	err      error
 	seq      uint64 // admission order, for oldest-first eviction
 }
@@ -190,6 +199,17 @@ func newID() (string, error) {
 // Submit admits a job or refuses with a classified error. kind is a
 // bounded caller-chosen label ("compress", "train") used in Status only.
 func (q *Queue) Submit(tenant, kind string, fn Func) (string, error) {
+	if fn == nil {
+		return "", errors.New("jobs: nil func")
+	}
+	return q.SubmitMeta(tenant, kind, func(ctx context.Context) ([]byte, map[string]string, error) {
+		res, err := fn(ctx)
+		return res, nil, err
+	})
+}
+
+// SubmitMeta is Submit for jobs that attach result metadata.
+func (q *Queue) SubmitMeta(tenant, kind string, fn MetaFunc) (string, error) {
 	if fn == nil {
 		return "", errors.New("jobs: nil func")
 	}
@@ -291,6 +311,7 @@ func (q *Queue) next() *job {
 func (q *Queue) run(j *job) {
 	defer q.running.Add(-1)
 	var res []byte
+	var meta map[string]string
 	var err error
 	func() {
 		defer func() {
@@ -298,7 +319,7 @@ func (q *Queue) run(j *job) {
 				err = fmt.Errorf("jobs: panic: %v", p)
 			}
 		}()
-		res, err = j.fn(q.ctx)
+		res, meta, err = j.fn(q.ctx)
 	}()
 	q.mu.Lock()
 	j.finished = time.Now()
@@ -308,6 +329,7 @@ func (q *Queue) run(j *job) {
 	} else {
 		j.state = StateDone
 		j.result = res
+		j.meta = meta
 	}
 	q.runSecs.Observe(j.finished.Sub(j.started).Seconds())
 	q.evictLocked(j.tenant)
@@ -373,6 +395,13 @@ func statusLocked(j *job) Status {
 		}
 	}
 	st.Bytes = len(j.result)
+	if len(j.meta) > 0 {
+		// Copy so a caller holding the snapshot can never alias job state.
+		st.Meta = make(map[string]string, len(j.meta))
+		for k, v := range j.meta {
+			st.Meta[k] = v
+		}
+	}
 	return st
 }
 

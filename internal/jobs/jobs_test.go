@@ -324,3 +324,48 @@ func TestConcurrentSubmitters(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSubmitMeta: metadata returned by a MetaFunc surfaces in the Done
+// status (copied, not aliased) and failed jobs carry none.
+func TestSubmitMeta(t *testing.T) {
+	q := New(Options{Workers: 1})
+	defer func() {
+		if err := q.Close(context.Background()); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	src := map[string]string{"codec": "sz3"}
+	id, err := q.SubmitMeta("t1", "compress", func(ctx context.Context) ([]byte, map[string]string, error) {
+		return []byte("payload"), src, nil
+	})
+	if err != nil {
+		t.Fatalf("SubmitMeta: %v", err)
+	}
+	st := waitState(t, q, id, StateDone)
+	if st.Meta["codec"] != "sz3" {
+		t.Fatalf("meta = %v, want codec=sz3", st.Meta)
+	}
+	st.Meta["codec"] = "mutated"
+	again, err := q.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Meta["codec"] != "sz3" {
+		t.Fatal("status meta aliases job state")
+	}
+
+	fid, err := q.SubmitMeta("t1", "compress", func(ctx context.Context) ([]byte, map[string]string, error) {
+		return nil, map[string]string{"codec": "szx"}, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatalf("SubmitMeta: %v", err)
+	}
+	if st := waitState(t, q, fid, StateFailed); st.Meta != nil {
+		t.Fatalf("failed job carries meta %v", st.Meta)
+	}
+
+	if _, err := q.SubmitMeta("t1", "compress", nil); err == nil {
+		t.Fatal("nil MetaFunc accepted")
+	}
+}

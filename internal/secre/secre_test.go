@@ -1,11 +1,13 @@
 package secre
 
 import (
+	"math"
 	"testing"
 	"time"
 
 	"carol/internal/compressor"
 	"carol/internal/field"
+	"carol/internal/obs"
 	"carol/internal/sperr"
 	"carol/internal/sz3"
 	"carol/internal/szx"
@@ -295,5 +297,52 @@ func BenchmarkEstimateVsFull(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Regression: RecordOutcome must reject non-finite inputs instead of
+// poisoning the estimate-error gauges (an Inf actual used to slip past the
+// "actual > 0" guard and record a bogus finite -1 relative error).
+func TestRecordOutcomeRejectsNonFinite(t *testing.T) {
+	const name = "szx"
+	gauge := obs.Default.Gauge(obs.Label("secre_estimate_rel_error", "codec", name))
+	outcomes := obs.Default.Counter(obs.Label("secre_outcomes_total", "codec", name))
+	rejects := obs.Default.Counter(obs.Label("secre_outcome_rejects_total", "codec", name))
+
+	RecordOutcome(name, 4, 2)           // establish a known-good state
+	if got := gauge.Value(); got != 1 { //carol:allow floateq exact value written by the call above
+		t.Fatalf("baseline rel error = %g, want 1", got)
+	}
+	okBefore, rejBefore := outcomes.Value(), rejects.Value()
+
+	bad := []struct {
+		name              string
+		estimated, actual float64
+	}{
+		{"inf actual", 4, math.Inf(1)},
+		{"neg inf actual", 4, math.Inf(-1)},
+		{"nan actual", 4, math.NaN()},
+		{"zero actual", 4, 0},
+		{"negative actual", 4, -3},
+		{"inf estimated", math.Inf(1), 2},
+		{"nan estimated", math.NaN(), 2},
+		{"non-positive estimated", 0, 2},
+	}
+	for _, tc := range bad {
+		RecordOutcome(name, tc.estimated, tc.actual)
+		if got := gauge.Value(); got != 1 { //carol:allow floateq gauge must be untouched by the rejected pair
+			t.Errorf("%s: rel error gauge moved to %g", tc.name, got)
+		}
+	}
+	if got := outcomes.Value(); got != okBefore {
+		t.Errorf("outcomes counter moved by %d on rejected pairs", got-okBefore)
+	}
+	if got := rejects.Value() - rejBefore; got != int64(len(bad)) {
+		t.Errorf("reject counter delta = %d, want %d", got, len(bad))
+	}
+
+	RecordOutcome(name, 3, 2) // good pairs still flow after rejects
+	if got := outcomes.Value() - okBefore; got != 1 {
+		t.Errorf("good outcome after rejects not recorded (delta %d)", got)
 	}
 }

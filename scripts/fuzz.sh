@@ -25,5 +25,6 @@ run ./internal/codecs FuzzCompressRoundTrip
 run ./internal/archive FuzzArchiveRead
 run ./internal/chunked FuzzChunkedDecompress
 run ./internal/model FuzzModelRead
+run ./internal/selector FuzzAutoSelect
 
 echo "fuzz sweep clean"

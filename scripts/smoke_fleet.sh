@@ -11,7 +11,10 @@
 #   5. publishing a new model version converges every shard via the
 #      registry-watch poll (no SIGHUP fan-out)
 #   6. the async job API accepts, runs, and serves a chunked compress
-#   7. SIGTERM drains gate and shards to clean exits
+#   7. mode=auto picks a codec adaptively — whole-routed (shard decides)
+#      and fan-out (gate decides once for all slabs) — and the bandit
+#      state is inspectable at /v1/selector on gate and shards
+#   8. SIGTERM drains gate and shards to clean exits
 #
 # Pure sh + curl. Set SMOKE_LOG_DIR to keep per-process logs (CI uploads
 # them as artifacts on failure).
@@ -173,6 +176,66 @@ if [ "$restored" -ne 65536 ]; then
     echo "smoke-fleet: job round trip restored $restored bytes, want 65536" >&2
     exit 1
 fi
+
+echo "== mode=auto: whole-routed adaptive compress through the gate"
+curl -fsS -o "$workdir/auto-small.bin" -D "$workdir/auto-small-headers.txt" \
+    --data-binary @"$workdir/small.raw" \
+    "http://$ag/v1/compress?mode=auto&rel=1e-3&dims=32x32x1"
+chosen=$(tr -d '\r' <"$workdir/auto-small-headers.txt" \
+    | sed -n 's/^[Xx]-[Cc]arol-[Cc]odec-[Cc]hosen: //p')
+if [ -z "$chosen" ]; then
+    echo "smoke-fleet: auto compress returned no X-Carol-Codec-Chosen" >&2
+    cat "$workdir/auto-small-headers.txt" >&2
+    dump_log carolgate
+    exit 1
+fi
+echo "   chosen codec: $chosen"
+curl -fsS -o "$workdir/auto-small-restored.raw" \
+    --data-binary @"$workdir/auto-small.bin" \
+    "http://$ag/v1/decompress?codec=$chosen"
+restored=$(wc -c <"$workdir/auto-small-restored.raw")
+if [ "$restored" -ne 4096 ]; then
+    echo "smoke-fleet: auto whole round trip restored $restored bytes, want 4096" >&2
+    exit 1
+fi
+
+echo "== mode=auto: chunked fan-out resolves one codec at the gate"
+curl -fsS -o "$workdir/auto-big.cch" -D "$workdir/auto-big-headers.txt" \
+    --data-binary @"$workdir/big.raw" \
+    "http://$ag/v1/compress?mode=auto&rel=1e-3&dims=64x16x16"
+head -c 4 "$workdir/auto-big.cch" | grep -q CCH1 || {
+    echo "smoke-fleet: auto fan-out did not answer a CCH1 container" >&2
+    dump_log carolgate
+    exit 1
+}
+gchosen=$(tr -d '\r' <"$workdir/auto-big-headers.txt" \
+    | sed -n 's/^[Xx]-[Cc]arol-[Cc]odec-[Cc]hosen: //p')
+if [ -z "$gchosen" ]; then
+    echo "smoke-fleet: auto fan-out returned no X-Carol-Codec-Chosen" >&2
+    exit 1
+fi
+echo "   gate chose: $gchosen"
+curl -fsS -o "$workdir/auto-big-restored.raw" \
+    --data-binary @"$workdir/auto-big.cch" \
+    "http://$ag/v1/decompress?codec=$gchosen"
+restored=$(wc -c <"$workdir/auto-big-restored.raw")
+if [ "$restored" -ne 65536 ]; then
+    echo "smoke-fleet: auto chunked round trip restored $restored bytes, want 65536" >&2
+    exit 1
+fi
+
+echo "== /v1/selector: bandit state inspectable on gate and live shards"
+for ep in "$ag" "$a1" "$a3"; do
+    curl -fsS "http://$ep/v1/selector" >"$workdir/selector-$ep.json" || {
+        echo "smoke-fleet: /v1/selector failed on $ep" >&2
+        exit 1
+    }
+    grep -q '"decisions"' "$workdir/selector-$ep.json" || {
+        echo "smoke-fleet: /v1/selector on $ep missing decisions field" >&2
+        cat "$workdir/selector-$ep.json" >&2
+        exit 1
+    }
+done
 
 echo "== gate /metrics sanity"
 curl -fsS "http://$ag/metrics" >"$workdir/gate-metrics.txt"
