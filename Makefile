@@ -1,4 +1,4 @@
-.PHONY: check build vet lint test race bench-rf bench-model bench-codecs bench-gate bench-select
+.PHONY: check build vet lint test race bench-rf bench-model bench-codecs bench-gate bench-select bench-zoo
 
 check: ## build + vet + race-enabled tests + carollint (the tier-1 gate)
 	./scripts/check.sh
@@ -50,3 +50,9 @@ bench-gate:
 # allocation-free) and the full surrogate-scored Select.
 bench-select:
 	go test -run '^$$' -bench 'BenchmarkAutoSelect' -benchmem ./internal/selector/
+
+# The surrogate-zoo benchmarks whose numbers are committed to
+# BENCH_ZOO.json: per-backend training (incl. the shared CV fold sweep)
+# and batch prediction through the published artifact.
+bench-zoo:
+	go test -run '^$$' -bench 'BenchmarkZoo' -benchmem -benchtime 3x ./internal/zoo/

@@ -346,10 +346,11 @@ func (g *gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // fleetShard is one entry of the /v1/fleet listing.
 type fleetShard struct {
-	Shard        string         `json:"shard"`
-	Healthy      bool           `json:"healthy"`
-	ConsecFails  int64          `json:"consecutive_failures,omitempty"`
-	ModelVersion map[string]int `json:"model_versions,omitempty"`
+	Shard        string            `json:"shard"`
+	Healthy      bool              `json:"healthy"`
+	ConsecFails  int64             `json:"consecutive_failures,omitempty"`
+	ModelVersion map[string]int    `json:"model_versions,omitempty"`
+	ModelBackend map[string]string `json:"model_backends,omitempty"`
 }
 
 // fleetStatus is the /v1/fleet response: per-shard health and model
@@ -372,24 +373,30 @@ func (g *gate) handleFleet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := fleetStatus{RingShards: g.ring.Len(), Converged: true}
-	// Model versions every healthy shard agrees on; any disagreement (or a
-	// healthy shard that cannot answer) flips Converged.
-	seen := map[string]int{}
+	// Model versions (and serving backends) every healthy shard agrees on;
+	// any disagreement (or a healthy shard that cannot answer) flips
+	// Converged.
+	seen := map[string]shardModel{}
 	for _, name := range g.ring.Shards() {
 		ss := g.shards[name]
 		fs := fleetShard{Shard: name, Healthy: ss.healthy.Load(), ConsecFails: ss.fails.Load()}
 		if fs.Healthy {
 			st.Healthy++
-			versions, err := g.shardModelVersions(name)
+			models, err := g.shardModels(name)
 			if err != nil {
 				st.Converged = false
 			} else {
-				fs.ModelVersion = versions
-				for m, v := range versions {
-					if prev, ok := seen[m]; ok && prev != v {
+				if len(models) > 0 {
+					fs.ModelVersion = make(map[string]int, len(models))
+					fs.ModelBackend = make(map[string]string, len(models))
+				}
+				for m, sm := range models {
+					fs.ModelVersion[m] = sm.Version
+					fs.ModelBackend[m] = sm.Backend
+					if prev, ok := seen[m]; ok && prev != sm {
 						st.Converged = false
 					}
-					seen[m] = v
+					seen[m] = sm
 				}
 			}
 		}

@@ -39,6 +39,8 @@ type fakeShard struct {
 	// modelVersion is served on /v1/models when positive; 0 answers 404
 	// like a carolserve without -model-dir.
 	modelVersion atomic.Int64
+	// modelBackend is the backend tag /v1/models reports ("rf" when unset).
+	modelBackend atomic.Value
 	// blockCompress, when non-nil, parks /v1/compress until closed — used
 	// to hold jobs in flight for admission-control tests.
 	blockCompress chan struct{}
@@ -100,8 +102,12 @@ func newFakeShard(t *testing.T) *fakeShard {
 			http.Error(w, "no -model-dir configured", http.StatusNotFound)
 			return
 		}
+		backend := "rf"
+		if b, ok := fs.modelBackend.Load().(string); ok && b != "" {
+			backend = b
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `[{"model":"sz3","version":%d}]`, v)
+		fmt.Fprintf(w, `[{"model":"sz3","version":%d,"backend":%q}]`, v, backend)
 	})
 	fs.srv = httptest.NewServer(mux)
 	t.Cleanup(fs.srv.Close)
@@ -478,11 +484,31 @@ func TestGateFleetConvergence(t *testing.T) {
 		if fs.ModelVersion["sz3"] != 2 {
 			t.Fatalf("shard %s model version %d, want 2", fs.Shard, fs.ModelVersion["sz3"])
 		}
+		if fs.ModelBackend["sz3"] != "rf" {
+			t.Fatalf("shard %s model backend %q, want rf", fs.Shard, fs.ModelBackend["sz3"])
+		}
 	}
 	// One shard lags a publish: the fleet must report divergence.
 	shards[1].modelVersion.Store(3)
 	if st := fetch(); st.Converged {
 		t.Fatalf("diverged fleet reported converged")
+	}
+	shards[1].modelVersion.Store(2)
+	// Same version but a different serving backend (a retrain publish that
+	// swapped backends mid-rollout) is also divergence.
+	shards[1].modelBackend.Store("knn")
+	st = fetch()
+	if st.Converged {
+		t.Fatalf("backend-diverged fleet reported converged")
+	}
+	var knnShards int
+	for _, fs := range st.Shards {
+		if fs.ModelBackend["sz3"] == "knn" {
+			knnShards++
+		}
+	}
+	if knnShards != 1 {
+		t.Fatalf("fleet backends: %d knn shards, want 1", knnShards)
 	}
 }
 

@@ -344,10 +344,20 @@ func bodyError(w http.ResponseWriter, err error) {
 	httpError(w, http.StatusBadRequest, "%v", err)
 }
 
-// shardModelVersions fetches one shard's /v1/models listing and reduces
-// it to name→version — the per-shard carol_model_version view /v1/fleet
-// aggregates.
-func (g *gate) shardModelVersions(shard string) (map[string]int, error) {
+// shardModel is one model as a shard's /v1/models endpoint reports it:
+// the published version plus the surrogate backend serving it. After a
+// retrain publish swaps backends the fleet view must show both, or a
+// half-converged fleet (same version, different backend tag) would look
+// healthy.
+type shardModel struct {
+	Version int
+	Backend string
+}
+
+// shardModels fetches one shard's /v1/models listing and reduces it to
+// name→{version, backend} — the per-shard carol_model_version view
+// /v1/fleet aggregates.
+func (g *gate) shardModels(shard string) (map[string]shardModel, error) {
 	resp, err := g.callShard(shard, http.MethodGet, "/v1/models", nil)
 	if err != nil {
 		return nil, err
@@ -361,13 +371,14 @@ func (g *gate) shardModelVersions(shard string) (map[string]int, error) {
 	var infos []struct {
 		Model   string `json:"model"`
 		Version int    `json:"version"`
+		Backend string `json:"backend"`
 	}
 	if err := json.Unmarshal(resp.body, &infos); err != nil {
 		return nil, fmt.Errorf("shard %s /v1/models: %w", shard, err)
 	}
-	out := make(map[string]int, len(infos))
+	out := make(map[string]shardModel, len(infos))
 	for _, mi := range infos {
-		out[mi.Model] = mi.Version
+		out[mi.Model] = shardModel{Version: mi.Version, Backend: mi.Backend}
 	}
 	return out, nil
 }

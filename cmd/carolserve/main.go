@@ -78,6 +78,10 @@ func main() {
 		"maximum concurrently served /v1/ requests; excess get 503 + Retry-After")
 	flag.DurationVar(&cfg.registryWatch, "registry-watch", cfg.registryWatch,
 		"poll the model registry at this interval and hot-swap on change (0 disables; SIGHUP always works)")
+	flag.StringVar(&cfg.harvestDir, "harvest-dir", cfg.harvestDir,
+		"journal served rel=/abs= compression outcomes here for carolretrain (empty disables)")
+	flag.IntVar(&cfg.harvestCap, "harvest-cap", cfg.harvestCap,
+		"records retained per harvest journal (0 = default)")
 	flag.BoolVar(&cfg.trackEstimatorError, "track-estimator-error", cfg.trackEstimatorError,
 		"run the SECRE surrogate alongside rel= compresses and export estimate-vs-actual error gauges")
 	flag.Uint64Var(&cfg.selectorSeed, "selector-seed", cfg.selectorSeed,
@@ -110,6 +114,13 @@ func run(cfg config, addr string) int {
 		return 1
 	}
 	s := newServerWith(cfg)
+	defer func() {
+		// Flush and close the harvest journals so the torn-tail window on
+		// a clean shutdown is empty.
+		if err := s.Close(); err != nil {
+			log.Printf("carolserve: close: %v", err)
+		}
+	}()
 	if s.models != nil {
 		// Warm load before accepting traffic; a failure is not fatal — the
 		// server starts and /readyz answers 503 until a reload succeeds.
@@ -300,6 +311,7 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		stream = res.Stream
 		w.Header().Set("X-Carol-Achieved-Ratio", strconv.FormatFloat(res.Achieved, 'g', 6, 64))
 		w.Header().Set("X-Carol-Compressor-Runs", strconv.Itoa(res.Runs))
+		s.harvest(codec.Name(), f, compressor.AbsBound(f, res.RelEB), res.Achieved)
 	case q.Get("rel") != "", q.Get("abs") != "":
 		// abs= pins an absolute error bound verbatim — the fleet gate uses
 		// it to hold a whole-field bound across slab fan-outs, where a
@@ -358,6 +370,7 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		}
 		actual := compressor.Ratio(f, stream)
 		w.Header().Set("X-Carol-Achieved-Ratio", strconv.FormatFloat(actual, 'g', 6, 64))
+		s.harvest(codec.Name(), f, eb, actual)
 		if observe != nil {
 			// Close the bandit loop: the selector compares its prediction
 			// against what the chosen codec actually delivered.
@@ -436,6 +449,7 @@ func (s *server) compressStreaming(w http.ResponseWriter, r *http.Request, tr *o
 		return
 	}
 	actual := float64(f.SizeBytes()) / float64(cw.n)
+	s.harvest(codec.Name(), f, eb, actual)
 	if observe != nil {
 		observe(actual)
 	}

@@ -28,7 +28,7 @@ import (
 type loadedModel struct {
 	version  registry.Version
 	artifact *model.Artifact
-	stats    struct{ Trees, Nodes, MaxDepth int }
+	stats    model.Stats
 }
 
 // modelSet is one immutable generation of loaded models, keyed by name.
@@ -119,9 +119,8 @@ func (ms *modelStore) loadLatest(reg *registry.Registry, name string, prev *load
 	if err := art.ServingCheck(); err != nil {
 		return nil, err
 	}
-	lm := &loadedModel{version: latest, artifact: art}
-	st := art.Forest.Stats()
-	lm.stats.Trees, lm.stats.Nodes, lm.stats.MaxDepth = st.Trees, st.Nodes, st.MaxDepth
+	lm := &loadedModel{version: latest, artifact: art, stats: art.Stats()}
+	st := lm.stats
 	ms.loadTotal("ok").Inc()
 	ms.reg.Gauge(obs.Label("model_loaded_version", "model", name)).Set(float64(latest.Number))
 	// carol_model_version is the fleet-convergence gauge: the gate's
@@ -130,8 +129,8 @@ func (ms *modelStore) loadLatest(reg *registry.Registry, name string, prev *load
 	ms.reg.Gauge(obs.Label("model_forest_trees", "model", name)).Set(float64(st.Trees))
 	ms.reg.Gauge(obs.Label("model_forest_nodes", "model", name)).Set(float64(st.Nodes))
 	ms.reg.Gauge(obs.Label("model_forest_max_depth", "model", name)).Set(float64(st.MaxDepth))
-	log.Printf("carolserve: loaded model %s v%d (%d trees, %d nodes, depth %d)",
-		name, latest.Number, st.Trees, st.Nodes, st.MaxDepth)
+	log.Printf("carolserve: loaded model %s v%d (backend %s, %d trees, %d nodes, depth %d)",
+		name, latest.Number, st.Backend, st.Trees, st.Nodes, st.MaxDepth)
 	return lm, nil
 }
 
@@ -229,14 +228,20 @@ func (ms *modelStore) watchRegistry(interval time.Duration) (stop func()) {
 
 // modelInfo is one entry of the /v1/models listing.
 type modelInfo struct {
-	Model    string `json:"model"`
-	Version  int    `json:"version"`
-	SHA256   string `json:"sha256"`
-	Size     int64  `json:"size"`
-	Codec    string `json:"codec"`
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	SHA256  string `json:"sha256"`
+	Size    int64  `json:"size"`
+	Codec   string `json:"codec"`
+	// Backend is the regressor family serving this model (rf|boost|knn);
+	// the continuous-retraining pipeline can change it between versions.
+	Backend  string `json:"backend"`
 	Trees    int    `json:"trees"`
 	Nodes    int    `json:"nodes"`
 	MaxDepth int    `json:"max_depth"`
+	// Samples and K describe a knn backend (zero otherwise).
+	Samples int `json:"samples,omitempty"`
+	K       int `json:"k,omitempty"`
 }
 
 // handleModels lists the currently served models (GET /v1/models).
@@ -264,9 +269,12 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 			SHA256:   lm.version.SHA256,
 			Size:     lm.version.Size,
 			Codec:    lm.artifact.Codec,
+			Backend:  lm.stats.Backend,
 			Trees:    lm.stats.Trees,
 			Nodes:    lm.stats.Nodes,
 			MaxDepth: lm.stats.MaxDepth,
+			Samples:  lm.stats.Samples,
+			K:        lm.stats.K,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")

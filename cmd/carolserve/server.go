@@ -8,9 +8,12 @@ import (
 	"strings"
 	"time"
 
+	"carol/internal/features"
+	"carol/internal/field"
 	"carol/internal/obs"
 	"carol/internal/safedec"
 	"carol/internal/selector"
+	"carol/internal/trainset"
 )
 
 // config carries the server hardening knobs, set from flags in main and
@@ -32,6 +35,14 @@ type config struct {
 	// version of every model is warm-loaded at boot, served on /v1/predict,
 	// and hot-swapped on SIGHUP. Empty disables model serving.
 	modelDir string
+
+	// harvestDir, when set, journals every served rel=/abs= compression
+	// outcome (features, achieved ratio, relative error bound) into
+	// per-codec journals that the continuous-retraining pipeline
+	// (carolretrain) trains on. Empty disables harvesting.
+	harvestDir string
+	// harvestCap bounds each journal's retained records (0 = default).
+	harvestCap int
 
 	// registryWatch, when positive, polls the registry manifests at this
 	// interval and hot-swaps on change — fleet convergence without SIGHUP
@@ -91,10 +102,14 @@ type server struct {
 	models *modelStore
 	// selector is the mode=auto adaptive codec chooser (DESIGN.md §16).
 	selector *selector.Selector
+	// harvester journals served-traffic outcomes, nil without -harvest-dir.
+	harvester *trainset.Harvester
 
-	inflight  *obs.Gauge
-	throttled *obs.Counter
-	panics    *obs.Counter
+	inflight      *obs.Gauge
+	throttled     *obs.Counter
+	panics        *obs.Counter
+	harvested     *obs.Counter
+	harvestErrors *obs.Counter
 }
 
 // newServer builds the HTTP handler with default settings (separated from
@@ -125,6 +140,15 @@ func newServerWith(cfg config) *server {
 	if cfg.modelDir != "" {
 		s.models = newModelStore(cfg.modelDir, cfg.decodeLimits)
 	}
+	if cfg.harvestDir != "" {
+		capacity := cfg.harvestCap
+		if capacity <= 0 {
+			capacity = trainset.DefaultJournalCap
+		}
+		s.harvester = trainset.NewHarvester(cfg.harvestDir, capacity)
+		s.harvested = obs.Default.Counter("harvest_records_total")
+		s.harvestErrors = obs.Default.Counter("harvest_errors_total")
+	}
 	sel, err := selector.New(selector.Config{Seed: cfg.selectorSeed, Epsilon: cfg.selectorEpsilon})
 	if err != nil {
 		// Only reachable with a broken built-in codec registry.
@@ -150,6 +174,38 @@ func newServerWith(cfg config) *server {
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
+}
+
+// harvest journals one served compression outcome for the retraining
+// pipeline: the field's features, the ratio the codec actually delivered,
+// and the value-range-relative error bound that produced it. Harvesting
+// is best-effort telemetry — failures are counted and logged, never
+// surfaced to the request.
+func (s *server) harvest(codec string, f *field.Field, eb, actual float64) {
+	if s.harvester == nil {
+		return
+	}
+	rng := f.ValueRange()
+	if !(rng > 0) || !(eb > 0) || !(actual > 0) {
+		return // constant or degenerate fields train nothing useful
+	}
+	feat := features.ExtractParallel(f, features.ParallelOptions{})
+	rec := trainset.Record{Features: feat, Ratio: actual, RelEB: eb / rng}
+	if err := s.harvester.Record(codec, rec); err != nil {
+		s.harvestErrors.Inc()
+		log.Printf("carolserve: harvest %s: %v", codec, err)
+		return
+	}
+	s.harvested.Inc()
+}
+
+// Close releases background resources (the harvest journals). Safe on a
+// server without a harvester.
+func (s *server) Close() error {
+	if s.harvester == nil {
+		return nil
+	}
+	return s.harvester.Close()
 }
 
 // endpointLabel maps a request path to a bounded metric label: the path

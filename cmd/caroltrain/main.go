@@ -30,7 +30,9 @@ import (
 	"carol/internal/field"
 	"carol/internal/model"
 	"carol/internal/registry"
+	"carol/internal/rf"
 	"carol/internal/trainset"
+	"carol/internal/zoo"
 )
 
 func main() {
@@ -47,6 +49,7 @@ type options struct {
 	name      string
 	datasets  string
 	dims      string
+	backends  string
 	bounds    int
 	boIters   int
 	forestCap int
@@ -66,6 +69,9 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.datasets, "datasets", "miranda",
 		"comma-separated training data: dataset or dataset:field (see carolgen -list)")
 	fs.StringVar(&o.dims, "dims", "", "override generated field dims NXxNYxNZ (tests and smoke runs)")
+	fs.StringVar(&o.backends, "backends", "rf",
+		"comma-separated surrogate backends to train and compare (rf,boost,knn); "+
+			"\"rf\" alone keeps the classic BO-tuned forest path")
 	fs.IntVar(&o.bounds, "bounds", 35, "error bounds sampled per field during collection")
 	fs.IntVar(&o.boIters, "bo-iters", 10, "Bayesian-optimization iterations")
 	fs.IntVar(&o.forestCap, "forest-cap", 0, "cap NEstimators in the final forest (0 = none)")
@@ -174,6 +180,70 @@ func fitCalibration(codecName string, points int, f *field.Field) (*model.CalibS
 	return model.FromCalib(m), nil
 }
 
+// parseBackends splits and validates the -backends flag.
+func parseBackends(spec string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, b := range model.KnownBackends() {
+		known[b] = true
+	}
+	var out []string
+	for _, b := range strings.Split(spec, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if !known[b] {
+			return nil, fmt.Errorf("unknown backend %q (want %s)", b, strings.Join(model.KnownBackends(), ","))
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backends in %q", spec)
+	}
+	return out, nil
+}
+
+// trainZoo runs the multi-backend sweep on the framework's collected
+// training set and returns the winner's artifact with the CV scoreboard
+// recorded in its metadata.
+func trainZoo(out io.Writer, fw *core.Framework, o options, rfCfg rf.Config,
+	backends []string, calState *model.CalibState, meta map[string]string) (*model.Artifact, error) {
+	rfCfg.Workers = o.workers
+	if o.forestCap > 0 && rfCfg.NEstimators > o.forestCap {
+		rfCfg.NEstimators = o.forestCap
+	}
+	zcfg := zoo.Config{
+		Backends: backends,
+		RF:       rfCfg,
+		KFolds:   o.kfolds,
+		Seed:     o.seed,
+		Workers:  o.workers,
+	}
+	zcfg.Boost.Seed = o.seed
+	X, y := fw.TrainingSet().Matrix()
+	res, err := zoo.Train(X, y, zcfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.Err != nil {
+			fmt.Fprintf(out, "caroltrain: zoo: %s failed: %v\n", c.Backend, c.Err)
+			continue
+		}
+		fmt.Fprintf(out, "caroltrain: zoo: %s cv mse %.6g\n", c.Backend, c.CVMSE)
+	}
+	winner := res.Best()
+	if winner == nil {
+		return nil, fmt.Errorf("zoo: every backend failed")
+	}
+	fmt.Fprintf(out, "caroltrain: zoo: winner %s\n", winner.Backend)
+	for k, v := range res.Scoreboard() {
+		meta[k] = v
+	}
+	return winner.Artifact(o.codec, calState, meta)
+}
+
 func run(args []string, out io.Writer) error {
 	o, err := parseFlags(args)
 	if err != nil {
@@ -224,20 +294,38 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	art := &model.Artifact{
-		Codec:  o.codec,
-		Schema: model.CanonicalSchema(),
-		Calib:  calState,
-		Forest: forest,
-		Meta: map[string]string{
-			"trained_at":    time.Now().UTC().Format(time.RFC3339),
-			"datasets":      o.datasets,
-			"fields":        strconv.Itoa(cs.Fields),
-			"samples":       strconv.Itoa(cs.Samples),
-			"bo_iterations": strconv.Itoa(ts.Evaluated),
-			"best_cv_mse":   strconv.FormatFloat(ts.BestScore, 'g', -1, 64),
-			"seed":          strconv.FormatUint(o.seed, 10),
-		},
+	meta := map[string]string{
+		"trained_at":    time.Now().UTC().Format(time.RFC3339),
+		"datasets":      o.datasets,
+		"fields":        strconv.Itoa(cs.Fields),
+		"samples":       strconv.Itoa(cs.Samples),
+		"bo_iterations": strconv.Itoa(ts.Evaluated),
+		"best_cv_mse":   strconv.FormatFloat(ts.BestScore, 'g', -1, 64),
+		"seed":          strconv.FormatUint(o.seed, 10),
+	}
+	backends, err := parseBackends(o.backends)
+	if err != nil {
+		return err
+	}
+	var art *model.Artifact
+	if len(backends) == 1 && backends[0] == model.BackendRF {
+		// Classic path: publish the BO-tuned forest exactly as trained —
+		// bit-identical to an in-process framework with the same flags.
+		art = &model.Artifact{
+			Codec:  o.codec,
+			Schema: model.CanonicalSchema(),
+			Calib:  calState,
+			Forest: forest,
+			Meta:   meta,
+		}
+	} else {
+		// Zoo path: cross-validate every requested backend on the same
+		// fold split (the rf entrant reuses the BO-tuned config) and
+		// publish whichever wins on this dataset.
+		art, err = trainZoo(out, fw, o, ts.BestConfig, backends, calState, meta)
+		if err != nil {
+			return err
+		}
 	}
 	buf, err := art.Encode()
 	if err != nil {

@@ -204,3 +204,46 @@ func TestRunGC(t *testing.T) {
 		t.Fatalf("Versions after gc = %v, %v", versions, err)
 	}
 }
+
+// TestRunZooBackends drives the multi-backend path: the published
+// artifact must carry the zoo scoreboard and a backend tag matching the
+// recorded winner.
+func TestRunZooBackends(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(tinyArgs(dir, "-backends", "rf,boost,knn"), &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"zoo: rf cv mse", "zoo: boost cv mse", "zoo: knn cv mse", "zoo: winner"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := reg.Latest("szx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := reg.Load(latest, safedec.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := art.ServingCheck(); err != nil {
+		t.Fatalf("zoo artifact not servable: %v", err)
+	}
+	winner := art.Meta["zoo_best_backend"]
+	if winner == "" || art.BackendTag() != winner {
+		t.Fatalf("backend %q, scoreboard winner %q (meta %v)", art.BackendTag(), winner, art.Meta)
+	}
+	for _, b := range []string{"rf", "boost", "knn"} {
+		if _, ok := art.Meta["zoo_cv_mse_"+b]; !ok {
+			t.Fatalf("scoreboard missing %s: %v", b, art.Meta)
+		}
+	}
+	if err := run(tinyArgs(dir, "-backends", "nope"), &out); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

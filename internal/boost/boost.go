@@ -3,11 +3,17 @@
 // conclusion proposes exploring in place of the random forest. Each round
 // fits a shallow CART tree (reusing package rf's tree machinery via
 // single-tree forests) to the current residuals and adds it with shrinkage.
+//
+// Training obeys the same parallelism contract as package rf: Config.Workers
+// only bounds CPU concurrency (per-round tree growth and the batch residual
+// update both run on rf's deterministic worker pools), so a trained model is
+// bit-identical for every Workers value.
 package boost
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"carol/internal/rf"
 )
@@ -24,6 +30,11 @@ type Config struct {
 	MinSamplesLeaf int
 	// Seed drives tie-breaking inside tree construction.
 	Seed uint64
+	// Workers bounds the goroutines used for per-round tree growth and the
+	// residual-update batch prediction: 0 uses every core, 1 forces the
+	// serial path. It does not affect the trained model — output is
+	// bit-identical for every value (the rf contract).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +88,7 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 		MinSamplesSplit: 2 * cfg.MinSamplesLeaf,
 		MinSamplesLeaf:  cfg.MinSamplesLeaf,
 		Bootstrap:       false,
+		Workers:         cfg.Workers,
 	}
 	for round := 0; round < cfg.Rounds; round++ {
 		treeCfg.Seed = cfg.Seed + uint64(round)
@@ -85,14 +97,16 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			return nil, fmt.Errorf("boost: round %d: %w", round, err)
 		}
 		m.stages = append(m.stages, tree)
-		// Update residuals.
+		// Update residuals with one batch pass (parallel across rows on the
+		// Workers pool; per-row predictions are independent, so the result
+		// is bit-identical for any worker count).
+		preds, err := tree.PredictBatch(X)
+		if err != nil {
+			return nil, fmt.Errorf("boost: round %d residuals: %w", round, err)
+		}
 		var maxAbs float64
 		for i := range X {
-			p, err := tree.Predict(X[i])
-			if err != nil {
-				return nil, err
-			}
-			resid[i] -= cfg.Shrinkage * p
+			resid[i] -= cfg.Shrinkage * preds[i]
 			if a := abs(resid[i]); a > maxAbs {
 				maxAbs = a
 			}
@@ -106,6 +120,31 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 
 // Rounds returns the number of fitted stages.
 func (m *Model) Rounds() int { return len(m.stages) }
+
+// Dims returns the input dimensionality the model was trained on.
+func (m *Model) Dims() int { return m.dims }
+
+// SetWorkers rebinds prediction parallelism on every stage without touching
+// the model (predictions are bit-identical for every value).
+func (m *Model) SetWorkers(w int) {
+	for _, stage := range m.stages {
+		stage.SetWorkers(w)
+	}
+}
+
+// Stats summarizes the ensemble's shape in rf.Stats terms: Trees is the
+// stage count, Nodes the total node count, MaxDepth the deepest stage.
+func (m *Model) Stats() rf.Stats {
+	s := rf.Stats{Trees: len(m.stages)}
+	for _, stage := range m.stages {
+		ss := stage.Stats()
+		s.Nodes += ss.Nodes
+		if ss.MaxDepth > s.MaxDepth {
+			s.MaxDepth = ss.MaxDepth
+		}
+	}
+	return s
+}
 
 // Predict returns the boosted prediction for one feature row.
 func (m *Model) Predict(x []float64) (float64, error) {
@@ -121,6 +160,83 @@ func (m *Model) Predict(x []float64) (float64, error) {
 		out += m.shrinkage * p
 	}
 	return out, nil
+}
+
+// PredictBatch predicts every row, one stage batch pass at a time.
+func (m *Model) PredictBatch(rows [][]float64) ([]float64, error) {
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		if len(row) != m.dims {
+			return nil, fmt.Errorf("boost: row %d has %d features, trained on %d", i, len(row), m.dims)
+		}
+		out[i] = m.base
+	}
+	for _, stage := range m.stages {
+		preds, err := stage.PredictBatch(rows)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] += m.shrinkage * preds[i]
+		}
+	}
+	return out, nil
+}
+
+// Flat is the flattened, serialization-ready form of a Model: the scalar
+// hyper-state plus every stage exported through rf.Flat. It carries no
+// unexported state, so internal/model can encode it field by field and
+// reconstruct an identical model with FromFlat.
+type Flat struct {
+	Base      float64
+	Shrinkage float64
+	Dims      int
+	Stages    []*rf.Flat
+}
+
+// Flatten exports the model into its serialization form.
+func (m *Model) Flatten() *Flat {
+	fl := &Flat{Base: m.base, Shrinkage: m.shrinkage, Dims: m.dims}
+	fl.Stages = make([]*rf.Flat, len(m.stages))
+	for i, stage := range m.stages {
+		fl.Stages[i] = stage.Flatten()
+	}
+	return fl
+}
+
+// FromFlat validates fl and reconstructs the model. Validation is total —
+// fl may come from an attacker-controlled artifact: scalars must be finite
+// (shrinkage positive), at least one stage must exist, and every stage must
+// pass rf.FromFlat with the model's input dimensionality.
+func FromFlat(fl *Flat) (*Model, error) {
+	if math.IsNaN(fl.Base) || math.IsInf(fl.Base, 0) {
+		return nil, errors.New("boost: flat model has non-finite base")
+	}
+	if !(fl.Shrinkage > 0) || math.IsInf(fl.Shrinkage, 0) {
+		return nil, fmt.Errorf("boost: flat model shrinkage %g outside (0, inf)", fl.Shrinkage)
+	}
+	if fl.Dims < 1 {
+		return nil, fmt.Errorf("boost: flat model with %d input dims", fl.Dims)
+	}
+	if len(fl.Stages) == 0 {
+		return nil, errors.New("boost: flat model with no stages")
+	}
+	m := &Model{base: fl.Base, shrinkage: fl.Shrinkage, dims: fl.Dims}
+	m.stages = make([]*rf.Forest, len(fl.Stages))
+	for i, sf := range fl.Stages {
+		if sf == nil {
+			return nil, fmt.Errorf("boost: flat stage %d is nil", i)
+		}
+		if sf.Dims != fl.Dims {
+			return nil, fmt.Errorf("boost: flat stage %d has %d dims, model has %d", i, sf.Dims, fl.Dims)
+		}
+		stage, err := rf.FromFlat(sf)
+		if err != nil {
+			return nil, fmt.Errorf("boost: flat stage %d: %w", i, err)
+		}
+		m.stages[i] = stage
+	}
+	return m, nil
 }
 
 func abs(v float64) float64 {

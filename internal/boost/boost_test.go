@@ -2,6 +2,7 @@ package boost
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"carol/internal/rf"
@@ -130,5 +131,143 @@ func BenchmarkTrain(b *testing.B) {
 		if _, err := Train(X, y, Config{Rounds: 30}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestWorkersDeterminism pins the rf parallelism contract on the booster:
+// the trained model (structure and predictions) is bit-identical for any
+// Config.Workers value.
+func TestWorkersDeterminism(t *testing.T) {
+	X, y := synthData(300, 9, 0.05)
+	qX, _ := synthData(64, 10, 0)
+	var refFlat *Flat
+	var refPred []float64
+	for _, workers := range []int{1, 2, 3, 8} {
+		m, err := Train(X, y, Config{Rounds: 25, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fl := m.Flatten()
+		for _, st := range fl.Stages {
+			st.Cfg.Workers = 0 // machine-local knob, excluded from identity
+		}
+		pred, err := m.PredictBatch(qX)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if refFlat == nil {
+			refFlat, refPred = fl, pred
+			continue
+		}
+		if !reflect.DeepEqual(flatBits(t, fl), flatBits(t, refFlat)) {
+			t.Fatalf("workers=%d: flattened model differs from workers=1", workers)
+		}
+		for i := range pred {
+			if math.Float64bits(pred[i]) != math.Float64bits(refPred[i]) {
+				t.Fatalf("workers=%d: prediction %d differs: %g vs %g", workers, i, pred[i], refPred[i])
+			}
+		}
+	}
+}
+
+// flatBits converts a Flat into an all-integer shadow so reflect.DeepEqual
+// compares float fields bit-for-bit (NaN-safe, no float ==).
+func flatBits(t *testing.T, fl *Flat) [][]uint64 {
+	t.Helper()
+	out := [][]uint64{{math.Float64bits(fl.Base), math.Float64bits(fl.Shrinkage), uint64(fl.Dims), uint64(len(fl.Stages))}}
+	for _, st := range fl.Stages {
+		row := []uint64{uint64(st.Dims), uint64(st.Cfg.NEstimators), uint64(st.Cfg.MaxDepth), uint64(st.Cfg.Seed)}
+		for _, n := range st.TreeNodes {
+			row = append(row, uint64(n))
+		}
+		for i := range st.Feature {
+			row = append(row, uint64(uint32(st.Feature[i])), uint64(uint32(st.Left[i])), uint64(uint32(st.Right[i])),
+				math.Float64bits(st.Thresh[i]), math.Float64bits(st.Value[i]), math.Float64bits(st.Gain[i]))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	X, y := synthData(200, 11, 0.05)
+	qX, _ := synthData(50, 12, 0)
+	m, err := Train(X, y, Config{Rounds: 12, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.PredictBatch(qX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := FromFlat(m.Flatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := got2.PredictBatch(qX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("row %d: round-trip prediction %g, want %g", i, got[i], want[i])
+		}
+	}
+	if got2.Rounds() != m.Rounds() || got2.Dims() != m.Dims() {
+		t.Fatalf("round trip shape: %d rounds/%d dims, want %d/%d", got2.Rounds(), got2.Dims(), m.Rounds(), m.Dims())
+	}
+}
+
+func TestFromFlatRejectsCorrupt(t *testing.T) {
+	X, y := synthData(60, 13, 0)
+	m, err := Train(X, y, Config{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(fl *Flat)
+	}{
+		{"nan base", func(fl *Flat) { fl.Base = math.NaN() }},
+		{"zero shrinkage", func(fl *Flat) { fl.Shrinkage = 0 }},
+		{"negative shrinkage", func(fl *Flat) { fl.Shrinkage = -0.1 }},
+		{"inf shrinkage", func(fl *Flat) { fl.Shrinkage = math.Inf(1) }},
+		{"zero dims", func(fl *Flat) { fl.Dims = 0 }},
+		{"no stages", func(fl *Flat) { fl.Stages = nil }},
+		{"nil stage", func(fl *Flat) { fl.Stages[1] = nil }},
+		{"stage dims mismatch", func(fl *Flat) { fl.Stages[0].Dims = 7; fl.Dims = 7 }},
+		{"corrupt stage", func(fl *Flat) { fl.Stages[0].Feature[0] = 99 }},
+	}
+	for _, tc := range cases {
+		fl := m.Flatten()
+		tc.mutate(fl)
+		if _, err := FromFlat(fl); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	X, y := synthData(150, 14, 0.05)
+	qX, _ := synthData(40, 15, 0)
+	m, err := Train(X, y, Config{Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := m.PredictBatch(qX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qX {
+		single, err := m.Predict(qX[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(single) != math.Float64bits(batch[i]) {
+			t.Fatalf("row %d: batch %g, single %g", i, batch[i], single)
+		}
+	}
+	if _, err := m.PredictBatch([][]float64{{1}}); err == nil {
+		t.Fatal("wrong-dims batch accepted")
 	}
 }

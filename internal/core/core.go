@@ -187,6 +187,11 @@ func (fw *Framework) Codec() compressor.Codec { return fw.codec }
 // TrainingSize returns the number of collected samples.
 func (fw *Framework) TrainingSize() int { return fw.set.Len() }
 
+// TrainingSet exposes the collected samples (not a copy) so callers like
+// caroltrain can feed the same data to the multi-backend zoo after the
+// surrogate collection pass.
+func (fw *Framework) TrainingSet() *trainset.Set { return &fw.set }
+
 // calibrationPoints resolves the per-codec default.
 func (fw *Framework) calibrationPoints() int {
 	switch fw.cfg.CalibrationPoints {

@@ -3,28 +3,81 @@
 // the CAROL paper's "different machine learning models" future-work
 // direction. Features are standardized per dimension so the distance metric
 // is not dominated by large-magnitude features like the value range.
+//
+// Parallelism follows the package rf contract: Config.Workers only bounds
+// CPU concurrency (row standardization in Train, per-query fan-out in
+// PredictBatch); the fitted model and every prediction are bit-identical
+// for any Workers value.
 package knn
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Config tunes the regressor.
 type Config struct {
 	// K is the neighbour count. Default 5 (clamped to the training size).
 	K int
+	// Workers bounds the goroutines used for training-set standardization
+	// and batch prediction: 0 uses every core, 1 forces the serial path.
+	// It never affects the fitted model or its predictions.
+	Workers int
 }
 
 // Model is a fitted k-NN regressor.
 type Model struct {
-	k     int
-	x     [][]float64 // standardized training inputs
-	y     []float64
-	mean  []float64
-	scale []float64
+	k       int
+	x       [][]float64 // standardized training inputs
+	y       []float64
+	mean    []float64
+	scale   []float64
+	workers int // machine-local; never serialized
+}
+
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelRows runs fn(i) for every row index in [0, n), split over up to
+// `workers` goroutines in contiguous chunks. Each index is visited exactly
+// once, so any fn writing only to slot i is deterministic.
+func parallelRows(n, workers int, fn func(i int)) {
+	// Below this many rows per goroutine the spawn overhead dominates.
+	const minRowsPerWorker = 16
+	workers = resolveWorkers(workers)
+	if maxW := n / minRowsPerWorker; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Train stores the (standardized) training set.
@@ -40,7 +93,10 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 		k = len(X)
 	}
 	dims := len(X[0])
-	m := &Model{k: k, y: append([]float64(nil), y...), mean: make([]float64, dims), scale: make([]float64, dims)}
+	m := &Model{k: k, y: append([]float64(nil), y...), mean: make([]float64, dims), scale: make([]float64, dims), workers: cfg.Workers}
+	// Mean/variance accumulation stays serial: float addition is not
+	// associative, and the bit-identical-for-any-Workers contract forbids
+	// reduction orders that depend on the goroutine count.
 	for _, row := range X {
 		if len(row) != dims {
 			return nil, errors.New("knn: ragged training rows")
@@ -64,10 +120,12 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			m.scale[d] = 1
 		}
 	}
+	// Row standardization is embarrassingly parallel: each output slot is
+	// written by exactly one index.
 	m.x = make([][]float64, len(X))
-	for i, row := range X {
-		m.x[i] = m.standardize(row)
-	}
+	parallelRows(len(X), cfg.Workers, func(i int) {
+		m.x[i] = m.standardize(X[i])
+	})
 	return m, nil
 }
 
@@ -85,6 +143,12 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	if len(x) != len(m.mean) {
 		return 0, fmt.Errorf("knn: predict with %d features, trained on %d", len(x), len(m.mean))
 	}
+	return m.predictChecked(x), nil
+}
+
+// predictChecked is Predict without the dimension check (already validated
+// by the caller). Extracted so PredictBatch's worker goroutines share it.
+func (m *Model) predictChecked(x []float64) float64 {
 	q := m.standardize(x)
 	type hit struct {
 		d2 float64
@@ -106,8 +170,116 @@ func (m *Model) Predict(x []float64) (float64, error) {
 		num += w * h.y
 		den += w
 	}
-	return num / den, nil
+	return num / den
+}
+
+// PredictBatch predicts every row, fanning queries over up to Workers
+// goroutines. Each row's result is bit-identical to a Predict call on it.
+func (m *Model) PredictBatch(rows [][]float64) ([]float64, error) {
+	for i, row := range rows {
+		if len(row) != len(m.mean) {
+			return nil, fmt.Errorf("knn: row %d has %d features, trained on %d", i, len(row), len(m.mean))
+		}
+	}
+	out := make([]float64, len(rows))
+	parallelRows(len(rows), m.workers, func(i int) {
+		out[i] = m.predictChecked(rows[i])
+	})
+	return out, nil
 }
 
 // K returns the neighbour count in effect.
 func (m *Model) K() int { return m.k }
+
+// Dims returns the input dimensionality the model was trained on.
+func (m *Model) Dims() int { return len(m.mean) }
+
+// Len returns the number of stored training samples.
+func (m *Model) Len() int { return len(m.y) }
+
+// SetWorkers rebinds batch-prediction parallelism without touching the
+// model (predictions are bit-identical for every value). A deserialized
+// model carries no Workers setting; serving processes call this to use
+// their own core budget.
+func (m *Model) SetWorkers(w int) { m.workers = w }
+
+// Flat is the flattened, serialization-ready form of a Model: the scalar
+// hyper-state plus the standardized training set in row-major order. It
+// carries no unexported state, so internal/model can encode it field by
+// field and reconstruct an identical model with FromFlat.
+type Flat struct {
+	K     int
+	Dims  int
+	Mean  []float64 // per-dimension training means, len Dims
+	Scale []float64 // per-dimension training stddevs (>0), len Dims
+	X     []float64 // standardized training rows, row-major, len n*Dims
+	Y     []float64 // training targets, len n
+}
+
+// Flatten exports the model into its serialization form.
+func (m *Model) Flatten() *Flat {
+	fl := &Flat{
+		K:     m.k,
+		Dims:  len(m.mean),
+		Mean:  append([]float64(nil), m.mean...),
+		Scale: append([]float64(nil), m.scale...),
+		Y:     append([]float64(nil), m.y...),
+	}
+	fl.X = make([]float64, 0, len(m.x)*fl.Dims)
+	for _, row := range m.x {
+		fl.X = append(fl.X, row...)
+	}
+	return fl
+}
+
+// FromFlat validates fl and reconstructs the model. Validation is total —
+// fl may come from an attacker-controlled artifact: every scalar must be
+// finite, scales strictly positive, K within [1, n], and the row-major X
+// must factor exactly into n rows of Dims columns.
+func FromFlat(fl *Flat) (*Model, error) {
+	if fl.Dims < 1 {
+		return nil, fmt.Errorf("knn: flat model with %d input dims", fl.Dims)
+	}
+	n := len(fl.Y)
+	if n < 1 {
+		return nil, errors.New("knn: flat model with no training samples")
+	}
+	if fl.K < 1 || fl.K > n {
+		return nil, fmt.Errorf("knn: flat model K %d outside [1, %d]", fl.K, n)
+	}
+	if len(fl.Mean) != fl.Dims || len(fl.Scale) != fl.Dims {
+		return nil, fmt.Errorf("knn: flat model mean/scale lengths %d/%d, want %d", len(fl.Mean), len(fl.Scale), fl.Dims)
+	}
+	if len(fl.X) != n*fl.Dims {
+		return nil, fmt.Errorf("knn: flat model X length %d, want %d", len(fl.X), n*fl.Dims)
+	}
+	for d := 0; d < fl.Dims; d++ {
+		if math.IsNaN(fl.Mean[d]) || math.IsInf(fl.Mean[d], 0) {
+			return nil, fmt.Errorf("knn: flat model mean[%d] not finite", d)
+		}
+		if !(fl.Scale[d] > 0) || math.IsInf(fl.Scale[d], 0) {
+			return nil, fmt.Errorf("knn: flat model scale[%d] = %g outside (0, inf)", d, fl.Scale[d])
+		}
+	}
+	for i, v := range fl.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("knn: flat model X[%d] not finite", i)
+		}
+	}
+	for i, v := range fl.Y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("knn: flat model Y[%d] not finite", i)
+		}
+	}
+	m := &Model{
+		k:     fl.K,
+		y:     append([]float64(nil), fl.Y...),
+		mean:  append([]float64(nil), fl.Mean...),
+		scale: append([]float64(nil), fl.Scale...),
+	}
+	m.x = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m.x[i] = append([]float64(nil), fl.X[i*fl.Dims:(i+1)*fl.Dims]...)
+	}
+	return m, nil
+}

@@ -97,3 +97,132 @@ func TestValidation(t *testing.T) {
 		t.Fatal("wrong dims accepted")
 	}
 }
+
+// TestWorkersDeterminism pins the rf parallelism contract on the k-NN
+// model: fitted state and predictions are bit-identical for any
+// Config.Workers value.
+func TestWorkersDeterminism(t *testing.T) {
+	X, y := synthData(400, 3)
+	qX, _ := synthData(80, 4)
+	var refFlat *Flat
+	var refPred []float64
+	for _, workers := range []int{1, 2, 3, 8} {
+		m, err := Train(X, y, Config{K: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fl := m.Flatten()
+		pred, err := m.PredictBatch(qX)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if refFlat == nil {
+			refFlat, refPred = fl, pred
+			continue
+		}
+		if fl.K != refFlat.K || fl.Dims != refFlat.Dims {
+			t.Fatalf("workers=%d: shape differs", workers)
+		}
+		for _, pair := range [][2][]float64{{fl.Mean, refFlat.Mean}, {fl.Scale, refFlat.Scale}, {fl.X, refFlat.X}, {fl.Y, refFlat.Y}} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("workers=%d: flat array lengths differ", workers)
+			}
+			for i := range pair[0] {
+				if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+					t.Fatalf("workers=%d: flat array value %d differs", workers, i)
+				}
+			}
+		}
+		for i := range pred {
+			if math.Float64bits(pred[i]) != math.Float64bits(refPred[i]) {
+				t.Fatalf("workers=%d: prediction %d differs: %g vs %g", workers, i, pred[i], refPred[i])
+			}
+		}
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	X, y := synthData(120, 5)
+	qX, _ := synthData(30, 6)
+	m, err := Train(X, y, Config{K: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.PredictBatch(qX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FromFlat(m.Flatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.PredictBatch(qX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("row %d: round-trip prediction %g, want %g", i, got[i], want[i])
+		}
+	}
+	if m2.K() != m.K() || m2.Dims() != m.Dims() || m2.Len() != m.Len() {
+		t.Fatal("round trip changed model shape")
+	}
+}
+
+func TestFromFlatRejectsCorrupt(t *testing.T) {
+	X, y := synthData(30, 7)
+	m, err := Train(X, y, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(fl *Flat)
+	}{
+		{"zero dims", func(fl *Flat) { fl.Dims = 0 }},
+		{"no samples", func(fl *Flat) { fl.Y = nil }},
+		{"k too small", func(fl *Flat) { fl.K = 0 }},
+		{"k too large", func(fl *Flat) { fl.K = len(fl.Y) + 1 }},
+		{"mean length", func(fl *Flat) { fl.Mean = fl.Mean[:1] }},
+		{"x length", func(fl *Flat) { fl.X = fl.X[:len(fl.X)-1] }},
+		{"nan mean", func(fl *Flat) { fl.Mean[0] = math.NaN() }},
+		{"zero scale", func(fl *Flat) { fl.Scale[1] = 0 }},
+		{"negative scale", func(fl *Flat) { fl.Scale[0] = -1 }},
+		{"inf x", func(fl *Flat) { fl.X[2] = math.Inf(-1) }},
+		{"nan y", func(fl *Flat) { fl.Y[0] = math.NaN() }},
+	}
+	for _, tc := range cases {
+		fl := m.Flatten()
+		tc.mutate(fl)
+		if _, err := FromFlat(fl); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	X, y := synthData(90, 8)
+	qX, _ := synthData(40, 9)
+	m, err := Train(X, y, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWorkers(4)
+	batch, err := m.PredictBatch(qX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qX {
+		single, err := m.Predict(qX[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(single) != math.Float64bits(batch[i]) {
+			t.Fatalf("row %d: batch %g, single %g", i, batch[i], single)
+		}
+	}
+	if _, err := m.PredictBatch([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("wrong-dims batch accepted")
+	}
+}

@@ -11,8 +11,10 @@ import (
 // coverage, not to zeroing node arrays a hostile header claimed.
 var fuzzLimits = safedec.Limits{MaxElements: 1 << 18, MaxAlloc: 1 << 24, MaxCount: 1 << 10}
 
-// modelFuzzSeeds returns a valid artifact plus the classic mutations:
-// truncations, a mid-stream bit flip, and a bare header.
+// modelFuzzSeeds returns one valid artifact per backend tag (rf, boost,
+// knn — all three payload layouts), a legacy version-1 stream, plus the
+// classic mutations: truncations, a mid-stream bit flip, and a bare
+// header.
 func modelFuzzSeeds(t testing.TB) [][]byte {
 	t.Helper()
 	valid := mustEncode(t, testArtifact(t))
@@ -21,6 +23,12 @@ func modelFuzzSeeds(t testing.TB) [][]byte {
 	minimal := testArtifact(t)
 	minimal.Calib = nil
 	minimal.Meta = nil
+	boostValid := mustEncode(t, boostArtifact(t))
+	knnValid := mustEncode(t, knnArtifact(t))
+	boostFlip := append([]byte(nil), boostValid...)
+	boostFlip[len(boostFlip)/2] ^= 0xFF
+	knnFlip := append([]byte(nil), knnValid...)
+	knnFlip[len(knnFlip)/2] ^= 0xFF
 	return [][]byte{
 		valid,
 		mustEncode(t, minimal),
@@ -28,6 +36,13 @@ func modelFuzzSeeds(t testing.TB) [][]byte {
 		valid[:16],
 		flip,
 		[]byte(Magic),
+		boostValid,
+		knnValid,
+		boostValid[:len(boostValid)/2],
+		knnValid[:len(knnValid)/2],
+		boostFlip,
+		knnFlip,
+		encodeV1(t, testArtifact(t)),
 	}
 }
 

@@ -1,30 +1,37 @@
 // Package model defines CAROL's trained-model artifact: a deterministic,
 // versioned, self-describing binary serialization of everything a serving
 // process needs to answer ratio→error-bound queries without retraining —
-// the codec the model was trained for, the feature schema, optional
-// surrogate-calibration state, the flattened random forest, and free-form
-// training metadata, all integrity-checked with a trailing CRC.
+// the codec the model was trained for, the regressor backend tag, the
+// feature schema, optional surrogate-calibration state, the flattened
+// regressor itself, and free-form training metadata, all integrity-checked
+// with a trailing CRC.
 //
 // The format is the bridge between the train-offline and serve-online
-// halves of the repository: cmd/caroltrain writes artifacts into an
-// internal/registry directory, and carolserve warm-loads them at boot and
-// on SIGHUP (DESIGN.md §12).
+// halves of the repository: cmd/caroltrain and cmd/carolretrain write
+// artifacts into an internal/registry directory, and carolserve warm-loads
+// them at boot, on SIGHUP, and on -registry-watch convergence (DESIGN.md
+// §12, §17).
+//
+// Format version 2 generalizes the artifact beyond random forests: a
+// backend tag (rf | boost | knn) follows the codec name and selects the
+// regressor payload layout. Version-1 streams (RF-only, no tag) remain
+// readable; Encode always writes version 2.
 //
 // Contracts:
 //
 //   - Determinism: Encode of the same Artifact value is byte-identical
 //     across runs and hosts (metadata is written in sorted key order, all
 //     floats as IEEE-754 bit patterns, no timestamps or randomness).
-//   - Round trip: Read(Encode(a)) yields a forest that predicts
-//     bit-identically to a.Forest, and re-encoding it reproduces the same
-//     bytes.
+//   - Round trip: Read(Encode(a)) yields a regressor that predicts
+//     bit-identically to the original, and re-encoding it reproduces the
+//     same bytes.
 //   - Hostility: Read/ReadLimited never panic and never allocate
 //     unbounded memory from claimed sizes; every failure is classified
 //     under the safedec taxonomy (ErrTruncated / ErrCorrupt / ErrLimit).
 //
-// Note the Workers knob of the embedded forest config is deliberately not
-// serialized: it is a machine-local parallelism setting, not part of the
-// model (a decoded forest starts at Workers=0, "use every core").
+// Note the Workers knob of the embedded regressor configs is deliberately
+// not serialized: it is a machine-local parallelism setting, not part of
+// the model (a decoded regressor starts at Workers=0, "use every core").
 package model
 
 import (
@@ -36,8 +43,10 @@ import (
 	"os"
 	"sort"
 
+	"carol/internal/boost"
 	"carol/internal/calib"
 	"carol/internal/features"
+	"carol/internal/knn"
 	"carol/internal/rf"
 	"carol/internal/safedec"
 )
@@ -47,17 +56,33 @@ import (
 // FormatVersion).
 const Magic = "CAROLMF1"
 
-// FormatVersion is the current artifact format version.
-const FormatVersion = 1
+// FormatVersion is the current artifact format version. Version 2 added
+// the backend tag and the boost/knn payload layouts; version 1 (RF-only)
+// is still read.
+const FormatVersion = 2
+
+// The registered regressor backends, in zoo priority order (the
+// deterministic tie-break order for equal CV scores).
+const (
+	BackendRF    = "rf"
+	BackendBoost = "boost"
+	BackendKNN   = "knn"
+)
+
+// KnownBackends lists every backend tag this package can serialize, in
+// priority order. Callers must treat the returned slice as read-only.
+func KnownBackends() []string { return []string{BackendRF, BackendBoost, BackendKNN} }
 
 // Format hard caps, independent of caller Limits: violating these is
 // structural corruption (ErrCorrupt), not a resource-policy rejection.
 const (
-	maxStringLen  = 1 << 12 // codec names, schema entries, meta keys/values
-	maxSchema     = 256     // feature-schema entries
-	maxCalib      = 1 << 12 // calibration points
-	maxMetaPairs  = 1 << 10 // metadata key/value pairs
-	maxTotalNodes = 1<<31 - 1
+	maxStringLen   = 1 << 12 // codec names, schema entries, meta keys/values
+	maxSchema      = 256     // feature-schema entries
+	maxCalib       = 1 << 12 // calibration points
+	maxMetaPairs   = 1 << 10 // metadata key/value pairs
+	maxTotalNodes  = 1<<31 - 1
+	maxBoostStages = 1 << 12 // boosting rounds
+	maxKNNSamples  = 1 << 22 // stored k-NN training rows
 )
 
 // nodeEncSize is the fixed per-node payload: i32 feature + u32 left +
@@ -86,17 +111,24 @@ func (c *CalibState) Model() (*calib.Model, error) {
 type Artifact struct {
 	// Codec names the compressor the model was trained for ("szx", ...).
 	Codec string
+	// Backend tags the regressor family ("rf" | "boost" | "knn"). Empty is
+	// normalized to "rf" so pre-zoo construction sites keep working.
+	Backend string
 	// Schema names the model inputs in order; serving refuses artifacts
 	// whose schema does not match CanonicalSchema().
 	Schema []string
 	// Calib optionally carries the surrogate-calibration state fitted
 	// during data collection (high-ratio codecs); nil when uncalibrated.
 	Calib *CalibState
-	// Forest is the trained regressor.
+	// Forest is the trained regressor for Backend "rf"; nil otherwise.
 	Forest *rf.Forest
-	// Meta carries free-form training provenance (sample counts, BO
-	// scores, timestamps). Keys and values are bounded strings; Meta is
-	// written in sorted key order so encoding stays deterministic.
+	// Boost is the trained regressor for Backend "boost"; nil otherwise.
+	Boost *boost.Model
+	// KNN is the trained regressor for Backend "knn"; nil otherwise.
+	KNN *knn.Model
+	// Meta carries free-form training provenance (sample counts, CV
+	// scoreboards, timestamps). Keys and values are bounded strings; Meta
+	// is written in sorted key order so encoding stays deterministic.
 	Meta map[string]string
 }
 
@@ -120,7 +152,108 @@ func schemaMatches(a, b []string) bool {
 	return true
 }
 
-// Validate checks the artifact is internally consistent and encodable.
+// BackendTag returns the artifact's backend with the empty-means-rf
+// normalization applied.
+func (a *Artifact) BackendTag() string {
+	if a.Backend == "" {
+		return BackendRF
+	}
+	return a.Backend
+}
+
+// Dims returns the regressor's input dimensionality, whichever backend
+// carries it (0 if no regressor is attached).
+func (a *Artifact) Dims() int {
+	switch a.BackendTag() {
+	case BackendBoost:
+		if a.Boost != nil {
+			return a.Boost.Dims()
+		}
+	case BackendKNN:
+		if a.KNN != nil {
+			return a.KNN.Dims()
+		}
+	default:
+		if a.Forest != nil {
+			return a.Forest.Dims()
+		}
+	}
+	return 0
+}
+
+// Stats summarizes the regressor's shape for dashboards and /v1/models.
+// Trees/Nodes/MaxDepth describe tree backends (for boost, Trees is the
+// stage count); Samples/K describe the k-NN training set.
+type Stats struct {
+	Backend  string
+	Trees    int
+	Nodes    int
+	MaxDepth int
+	Samples  int
+	K        int
+}
+
+// Stats computes the backend-appropriate shape summary.
+func (a *Artifact) Stats() Stats {
+	s := Stats{Backend: a.BackendTag()}
+	switch s.Backend {
+	case BackendBoost:
+		if a.Boost != nil {
+			bs := a.Boost.Stats()
+			s.Trees, s.Nodes, s.MaxDepth = bs.Trees, bs.Nodes, bs.MaxDepth
+		}
+	case BackendKNN:
+		if a.KNN != nil {
+			s.Samples, s.K = a.KNN.Len(), a.KNN.K()
+		}
+	default:
+		if a.Forest != nil {
+			fs := a.Forest.Stats()
+			s.Trees, s.Nodes, s.MaxDepth = fs.Trees, fs.Nodes, fs.MaxDepth
+		}
+	}
+	return s
+}
+
+// SetWorkers rebinds prediction parallelism on the attached regressor
+// (machine-local; predictions are bit-identical for every value).
+func (a *Artifact) SetWorkers(w int) {
+	switch {
+	case a.Forest != nil:
+		a.Forest.SetWorkers(w)
+	case a.Boost != nil:
+		a.Boost.SetWorkers(w)
+	case a.KNN != nil:
+		a.KNN.SetWorkers(w)
+	}
+}
+
+// PredictTargets runs the backend regressor over pre-built trainset rows
+// and returns the raw model outputs (log10 relative-error-bound targets).
+// Callers that want error bounds apply trainset.EBFromTarget.
+func (a *Artifact) PredictTargets(rows [][]float64) ([]float64, error) {
+	switch a.BackendTag() {
+	case BackendBoost:
+		if a.Boost == nil {
+			return nil, fmt.Errorf("model: boost artifact has no regressor")
+		}
+		return a.Boost.PredictBatch(rows)
+	case BackendKNN:
+		if a.KNN == nil {
+			return nil, fmt.Errorf("model: knn artifact has no regressor")
+		}
+		return a.KNN.PredictBatch(rows)
+	case BackendRF:
+		if a.Forest == nil {
+			return nil, fmt.Errorf("model: rf artifact has no regressor")
+		}
+		return a.Forest.PredictBatch(rows)
+	}
+	return nil, fmt.Errorf("model: unknown backend %q", a.Backend)
+}
+
+// Validate checks the artifact is internally consistent and encodable:
+// exactly the regressor matching the backend tag must be attached.
 func (a *Artifact) Validate() error {
 	if a.Codec == "" || len(a.Codec) > maxStringLen {
 		return fmt.Errorf("model: bad codec name %q", a.Codec)
@@ -133,15 +266,46 @@ func (a *Artifact) Validate() error {
 			return fmt.Errorf("model: bad schema entry %d", i)
 		}
 	}
-	if a.Forest == nil {
-		return fmt.Errorf("model: nil forest")
+	switch a.BackendTag() {
+	case BackendRF:
+		if a.Forest == nil {
+			return fmt.Errorf("model: rf artifact without forest")
+		}
+		if a.Boost != nil || a.KNN != nil {
+			return fmt.Errorf("model: rf artifact carries extra regressors")
+		}
+		stats := a.Forest.Stats()
+		if stats.Trees == 0 || stats.Nodes == 0 {
+			return fmt.Errorf("model: empty forest")
+		}
+	case BackendBoost:
+		if a.Boost == nil {
+			return fmt.Errorf("model: boost artifact without regressor")
+		}
+		if a.Forest != nil || a.KNN != nil {
+			return fmt.Errorf("model: boost artifact carries extra regressors")
+		}
+		if a.Boost.Rounds() == 0 {
+			return fmt.Errorf("model: empty boost ensemble")
+		}
+		if a.Boost.Rounds() > maxBoostStages {
+			return fmt.Errorf("model: %d boost stages (max %d)", a.Boost.Rounds(), maxBoostStages)
+		}
+	case BackendKNN:
+		if a.KNN == nil {
+			return fmt.Errorf("model: knn artifact without regressor")
+		}
+		if a.Forest != nil || a.Boost != nil {
+			return fmt.Errorf("model: knn artifact carries extra regressors")
+		}
+		if a.KNN.Len() > maxKNNSamples {
+			return fmt.Errorf("model: %d knn samples (max %d)", a.KNN.Len(), maxKNNSamples)
+		}
+	default:
+		return fmt.Errorf("model: unknown backend %q", a.Backend)
 	}
-	stats := a.Forest.Stats()
-	if stats.Trees == 0 || stats.Nodes == 0 {
-		return fmt.Errorf("model: empty forest")
-	}
-	if dims := a.Forest.Dims(); dims != len(a.Schema) {
-		return fmt.Errorf("model: forest has %d input dims but schema has %d entries",
+	if dims := a.Dims(); dims != len(a.Schema) {
+		return fmt.Errorf("model: regressor has %d input dims but schema has %d entries",
 			dims, len(a.Schema))
 	}
 	if a.Calib != nil {
@@ -175,37 +339,11 @@ func (w *writer) str(s string) {
 	w.buf = append(w.buf, s...)
 }
 
-// Encode serializes the artifact. The output is deterministic: encoding
-// the same artifact twice yields identical bytes.
-func (a *Artifact) Encode() ([]byte, error) {
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	fl := a.Forest.Flatten()
-	w := &writer{buf: make([]byte, 0, 64+len(fl.Feature)*nodeEncSize)}
-	w.buf = append(w.buf, Magic...)
-	w.u32(FormatVersion)
-	w.str(a.Codec)
-	w.uvarint(uint64(len(a.Schema)))
-	for _, s := range a.Schema {
-		w.str(s)
-	}
-	if a.Calib == nil {
-		w.uvarint(0)
-	} else {
-		w.uvarint(uint64(len(a.Calib.EBs)))
-		if a.Calib.Over {
-			w.u8(1)
-		} else {
-			w.u8(0)
-		}
-		for i := range a.Calib.EBs {
-			w.f64(a.Calib.EBs[i])
-			w.f64(a.Calib.Rho[i])
-		}
-	}
-	// Forest: hyper-parameters (minus the machine-local Workers knob),
-	// dims, per-tree node counts, then struct-of-arrays node payload.
+// writeForest appends one forest section: hyper-parameters (minus the
+// machine-local Workers knob), dims, per-tree node counts, then the
+// struct-of-arrays node payload. Shared by the rf payload and every boost
+// stage.
+func writeForest(w *writer, fl *rf.Flat) {
 	cfg := fl.Cfg
 	w.u32(uint32(cfg.NEstimators))
 	w.u8(byte(cfg.MaxFeatures))
@@ -240,6 +378,68 @@ func (a *Artifact) Encode() ([]byte, error) {
 	}
 	for _, v := range fl.Gain {
 		w.f64(v)
+	}
+}
+
+// Encode serializes the artifact (always as format version 2). The output
+// is deterministic: encoding the same artifact twice yields identical
+// bytes.
+func (a *Artifact) Encode() ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	w := &writer{buf: make([]byte, 0, 1<<12)}
+	w.buf = append(w.buf, Magic...)
+	w.u32(FormatVersion)
+	w.str(a.Codec)
+	w.str(a.BackendTag())
+	w.uvarint(uint64(len(a.Schema)))
+	for _, s := range a.Schema {
+		w.str(s)
+	}
+	if a.Calib == nil {
+		w.uvarint(0)
+	} else {
+		w.uvarint(uint64(len(a.Calib.EBs)))
+		if a.Calib.Over {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		for i := range a.Calib.EBs {
+			w.f64(a.Calib.EBs[i])
+			w.f64(a.Calib.Rho[i])
+		}
+	}
+	switch a.BackendTag() {
+	case BackendRF:
+		writeForest(w, a.Forest.Flatten())
+	case BackendBoost:
+		fl := a.Boost.Flatten()
+		w.f64(fl.Base)
+		w.f64(fl.Shrinkage)
+		w.u32(uint32(fl.Dims))
+		w.uvarint(uint64(len(fl.Stages)))
+		for _, st := range fl.Stages {
+			writeForest(w, st)
+		}
+	case BackendKNN:
+		fl := a.KNN.Flatten()
+		w.u32(uint32(fl.K))
+		w.u32(uint32(fl.Dims))
+		w.uvarint(uint64(len(fl.Y)))
+		for _, v := range fl.Mean {
+			w.f64(v)
+		}
+		for _, v := range fl.Scale {
+			w.f64(v)
+		}
+		for _, v := range fl.X {
+			w.f64(v)
+		}
+		for _, v := range fl.Y {
+			w.f64(v)
+		}
 	}
 	// Metadata in sorted key order: map iteration order must not leak
 	// into the bytes (the determinism contract carollint enforces).
@@ -305,9 +505,12 @@ func readString(r *safedec.Reader, what string) (string, error) {
 
 // ReadLimited parses an artifact, bounding every size the stream claims
 // with lim (safedec validate-before-allocate discipline) and verifying
-// the trailing CRC. Errors are classified: ErrTruncated when the input
-// ends early, ErrCorrupt for structural violations (bad magic, version,
-// checksum, malformed forest), ErrLimit when parsing would exceed lim.
+// the trailing CRC. Both format versions are accepted: version 1 streams
+// are RF-only with no backend tag; version 2 streams carry the tag and
+// dispatch the regressor payload on it. Errors are classified:
+// ErrTruncated when the input ends early, ErrCorrupt for structural
+// violations (bad magic, version, checksum, malformed regressor),
+// ErrLimit when parsing would exceed lim.
 func ReadLimited(data []byte, lim safedec.Limits) (*Artifact, error) {
 	r := safedec.NewReader(data)
 	magic, err := r.Take("magic", len(Magic))
@@ -321,7 +524,7 @@ func ReadLimited(data []byte, lim safedec.Limits) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != FormatVersion {
+	if version < 1 || version > FormatVersion {
 		return nil, corrupt("unsupported format version %d (have %d)", version, FormatVersion)
 	}
 	a := &Artifact{}
@@ -330,6 +533,18 @@ func ReadLimited(data []byte, lim safedec.Limits) (*Artifact, error) {
 	}
 	if a.Codec == "" {
 		return nil, corrupt("empty codec name")
+	}
+	if version >= 2 {
+		if a.Backend, err = readString(r, "backend tag"); err != nil {
+			return nil, err
+		}
+		switch a.Backend {
+		case BackendRF, BackendBoost, BackendKNN:
+		default:
+			return nil, corrupt("unknown backend tag %q", a.Backend)
+		}
+	} else {
+		a.Backend = BackendRF
 	}
 	nSchema, err := r.Uvarint("schema count")
 	if err != nil {
@@ -386,18 +601,33 @@ func ReadLimited(data []byte, lim safedec.Limits) (*Artifact, error) {
 		}
 		a.Calib = cs
 	}
-	fl, err := readForest(r, lim)
-	if err != nil {
-		return nil, err
+	switch a.Backend {
+	case BackendRF:
+		fl, err := readForest(r, lim)
+		if err != nil {
+			return nil, err
+		}
+		if fl.Dims != len(a.Schema) {
+			return nil, corrupt("forest dims %d != schema entries %d", fl.Dims, len(a.Schema))
+		}
+		forest, err := rf.FromFlat(fl)
+		if err != nil {
+			return nil, corrupt("%v", err)
+		}
+		a.Forest = forest
+	case BackendBoost:
+		m, err := readBoost(r, lim, len(a.Schema))
+		if err != nil {
+			return nil, err
+		}
+		a.Boost = m
+	case BackendKNN:
+		m, err := readKNN(r, lim, len(a.Schema))
+		if err != nil {
+			return nil, err
+		}
+		a.KNN = m
 	}
-	if fl.Dims != len(a.Schema) {
-		return nil, corrupt("forest dims %d != schema entries %d", fl.Dims, len(a.Schema))
-	}
-	forest, err := rf.FromFlat(fl)
-	if err != nil {
-		return nil, corrupt("%v", err)
-	}
-	a.Forest = forest
 	nMeta, err := r.Uvarint("metadata count")
 	if err != nil {
 		return nil, err
@@ -438,7 +668,7 @@ func ReadLimited(data []byte, lim safedec.Limits) (*Artifact, error) {
 	return a, nil
 }
 
-// readForest parses the forest section into a Flat for rf.FromFlat.
+// readForest parses one forest section into a Flat for rf.FromFlat.
 func readForest(r *safedec.Reader, lim safedec.Limits) (*rf.Flat, error) {
 	var cfg rf.Config
 	nEst, err := r.U32("tree count")
@@ -546,4 +776,107 @@ func readForest(r *safedec.Reader, lim safedec.Limits) (*rf.Flat, error) {
 	readF64s(fl.Value, "node value")
 	readF64s(fl.Gain, "node gain")
 	return fl, nil
+}
+
+// readBoost parses the boost payload: base, shrinkage, dims, stage count,
+// then one forest section per stage. Semantic validation (finiteness,
+// stage structure) is delegated to boost.FromFlat.
+func readBoost(r *safedec.Reader, lim safedec.Limits, schemaLen int) (*boost.Model, error) {
+	base, err := r.U64("boost base")
+	if err != nil {
+		return nil, err
+	}
+	shrink, err := r.U64("boost shrinkage")
+	if err != nil {
+		return nil, err
+	}
+	dims, err := r.U32("boost dims")
+	if err != nil {
+		return nil, err
+	}
+	if int(dims) != schemaLen {
+		return nil, corrupt("boost dims %d != schema entries %d", dims, schemaLen)
+	}
+	nStages, err := r.Uvarint("boost stage count")
+	if err != nil {
+		return nil, err
+	}
+	if nStages == 0 || nStages > maxBoostStages {
+		return nil, corrupt("boost stage count %d outside [1, %d]", nStages, maxBoostStages)
+	}
+	if err := lim.Count("boost stage", int64(nStages)); err != nil {
+		return nil, err
+	}
+	fl := &boost.Flat{
+		Base:      math.Float64frombits(base),
+		Shrinkage: math.Float64frombits(shrink),
+		Dims:      int(dims),
+		Stages:    make([]*rf.Flat, nStages),
+	}
+	for i := range fl.Stages {
+		st, err := readForest(r, lim)
+		if err != nil {
+			return nil, err
+		}
+		fl.Stages[i] = st
+	}
+	m, err := boost.FromFlat(fl)
+	if err != nil {
+		return nil, corrupt("%v", err)
+	}
+	return m, nil
+}
+
+// readKNN parses the knn payload: k, dims, sample count, then the mean /
+// scale / standardized-X / Y float arrays. Semantic validation is
+// delegated to knn.FromFlat.
+func readKNN(r *safedec.Reader, lim safedec.Limits, schemaLen int) (*knn.Model, error) {
+	k, err := r.U32("knn k")
+	if err != nil {
+		return nil, err
+	}
+	dims, err := r.U32("knn dims")
+	if err != nil {
+		return nil, err
+	}
+	if int(dims) != schemaLen {
+		return nil, corrupt("knn dims %d != schema entries %d", dims, schemaLen)
+	}
+	n, err := r.Uvarint("knn sample count")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxKNNSamples {
+		return nil, corrupt("knn sample count %d outside [1, %d]", n, maxKNNSamples)
+	}
+	if err := lim.Count("knn sample", int64(n)); err != nil {
+		return nil, err
+	}
+	// Total payload: mean + scale (dims each) + X (n*dims) + Y (n), all f64.
+	floats := 2*int64(dims) + int64(n)*int64(dims) + int64(n)
+	if err := lim.Alloc("knn payload", floats*8); err != nil {
+		return nil, err
+	}
+	if int64(r.Remaining()) < floats*8 {
+		return nil, fmt.Errorf("%w: model: knn payload needs %d bytes, have %d",
+			safedec.ErrTruncated, floats*8, r.Remaining())
+	}
+	readF64s := func(count int, what string) []float64 {
+		dst := make([]float64, count)
+		for i := range dst {
+			v, _ := r.U64(what) // length pre-checked above
+			dst[i] = math.Float64frombits(v)
+		}
+		return dst
+	}
+	fl := &knn.Flat{K: int(k), Dims: int(dims)}
+	fl.Mean = readF64s(int(dims), "knn mean")
+	fl.Scale = readF64s(int(dims), "knn scale")
+	fl.X = readF64s(int(n)*int(dims), "knn x")
+	fl.Y = readF64s(int(n), "knn y")
+	m, err := knn.FromFlat(fl)
+	if err != nil {
+		return nil, corrupt("%v", err)
+	}
+	return m, nil
 }

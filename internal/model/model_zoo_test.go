@@ -1,0 +1,338 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math"
+	"sort"
+	"testing"
+
+	"carol/internal/boost"
+	"carol/internal/field"
+	"carol/internal/knn"
+	"carol/internal/safedec"
+	"carol/internal/trainset"
+	"carol/internal/xrand"
+)
+
+// testField builds a small non-constant probe field for predict helpers.
+func testField(t testing.TB) *field.Field {
+	t.Helper()
+	f := field.New("probe", 16, 16, 4)
+	rng := xrand.New(3)
+	for i := range f.Data {
+		f.Data[i] = float32(rng.Float64())
+	}
+	return f
+}
+
+// zooTrainingData builds a small canonical-schema training set shared by
+// the boost/knn artifact helpers.
+func zooTrainingData(t testing.TB, rows int, seed uint64) ([][]float64, []float64) {
+	t.Helper()
+	rng := xrand.New(seed)
+	X := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := range X {
+		row := make([]float64, trainset.InputDim)
+		for j := range row {
+			row[j] = rng.Float64()*2 - 1
+		}
+		X[i] = row
+		y[i] = -3 + row[0] + 0.5*row[5]
+	}
+	return X, y
+}
+
+func boostArtifact(t testing.TB) *Artifact {
+	t.Helper()
+	X, y := zooTrainingData(t, 200, 21)
+	m, err := boost.Train(X, y, boost.Config{Rounds: 10, Depth: 3})
+	if err != nil {
+		t.Fatalf("boost train: %v", err)
+	}
+	return &Artifact{
+		Codec:   "szx",
+		Backend: BackendBoost,
+		Schema:  CanonicalSchema(),
+		Boost:   m,
+		Meta:    map[string]string{"samples": "200"},
+	}
+}
+
+func knnArtifact(t testing.TB) *Artifact {
+	t.Helper()
+	X, y := zooTrainingData(t, 150, 22)
+	m, err := knn.Train(X, y, knn.Config{K: 5})
+	if err != nil {
+		t.Fatalf("knn train: %v", err)
+	}
+	return &Artifact{
+		Codec:   "sperr",
+		Backend: BackendKNN,
+		Schema:  CanonicalSchema(),
+		KNN:     m,
+		Meta:    map[string]string{"samples": "150"},
+	}
+}
+
+// TestBackendRoundTrip checks every backend's encode/read cycle: the tag
+// survives, predictions are bit-identical, and re-encoding the decoded
+// artifact reproduces the stream byte for byte.
+func TestBackendRoundTrip(t *testing.T) {
+	artifacts := map[string]*Artifact{
+		BackendRF:    testArtifact(t),
+		BackendBoost: boostArtifact(t),
+		BackendKNN:   knnArtifact(t),
+	}
+	rng := xrand.New(7)
+	rows := make([][]float64, 64)
+	for i := range rows {
+		row := make([]float64, trainset.InputDim)
+		for j := range row {
+			row[j] = rng.Float64()*4 - 2
+		}
+		rows[i] = row
+	}
+	for backend, a := range artifacts {
+		t.Run(backend, func(t *testing.T) {
+			buf := mustEncode(t, a)
+			b, err := Read(buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if b.BackendTag() != backend {
+				t.Fatalf("backend %q, want %q", b.BackendTag(), backend)
+			}
+			if b.Dims() != trainset.InputDim {
+				t.Fatalf("dims %d", b.Dims())
+			}
+			want, err := a.PredictTargets(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.PredictTargets(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("row %d: %g != %g", i, got[i], want[i])
+				}
+			}
+			if !bytes.Equal(buf, mustEncode(t, b)) {
+				t.Fatal("re-encode differs from original bytes")
+			}
+			if s := b.Stats(); s.Backend != backend {
+				t.Fatalf("stats backend %q", s.Backend)
+			}
+		})
+	}
+}
+
+func TestBackendStats(t *testing.T) {
+	if s := boostArtifact(t).Stats(); s.Trees != 10 || s.Nodes == 0 || s.MaxDepth == 0 {
+		t.Fatalf("boost stats %+v", s)
+	}
+	if s := knnArtifact(t).Stats(); s.Samples != 150 || s.K != 5 {
+		t.Fatalf("knn stats %+v", s)
+	}
+	if s := testArtifact(t).Stats(); s.Trees != 8 || s.Nodes == 0 {
+		t.Fatalf("rf stats %+v", s)
+	}
+}
+
+// TestValidateBackendPairing pins the exactly-one-regressor rule.
+func TestValidateBackendPairing(t *testing.T) {
+	rfA, boA, knA := testArtifact(t), boostArtifact(t), knnArtifact(t)
+	cases := []struct {
+		name string
+		a    *Artifact
+	}{
+		{"rf tag with boost model", &Artifact{Codec: "szx", Backend: BackendRF, Schema: CanonicalSchema(), Forest: rfA.Forest, Boost: boA.Boost}},
+		{"boost tag without model", &Artifact{Codec: "szx", Backend: BackendBoost, Schema: CanonicalSchema()}},
+		{"boost tag with forest too", &Artifact{Codec: "szx", Backend: BackendBoost, Schema: CanonicalSchema(), Boost: boA.Boost, Forest: rfA.Forest}},
+		{"knn tag without model", &Artifact{Codec: "szx", Backend: BackendKNN, Schema: CanonicalSchema()}},
+		{"knn tag with boost too", &Artifact{Codec: "szx", Backend: BackendKNN, Schema: CanonicalSchema(), KNN: knA.KNN, Boost: boA.Boost}},
+		{"unknown tag", &Artifact{Codec: "szx", Backend: "svm", Schema: CanonicalSchema(), Forest: rfA.Forest}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.a.Validate(); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+	// Empty backend normalizes to rf and stays valid + encodable.
+	legacy := testArtifact(t)
+	legacy.Backend = ""
+	if err := legacy.Validate(); err != nil {
+		t.Fatalf("empty-backend artifact rejected: %v", err)
+	}
+	buf := mustEncode(t, legacy)
+	b, err := Read(buf)
+	if err != nil || b.BackendTag() != BackendRF {
+		t.Fatalf("empty-backend round trip: %v, tag %q", err, b.BackendTag())
+	}
+}
+
+// encodeV1 hand-writes the legacy version-1 layout (no backend tag,
+// RF-only) so the compat path is tested against real old bytes, not
+// against whatever the current encoder happens to produce.
+func encodeV1(t testing.TB, a *Artifact) []byte {
+	t.Helper()
+	w := &writer{}
+	w.buf = append(w.buf, Magic...)
+	w.u32(1)
+	w.str(a.Codec)
+	w.uvarint(uint64(len(a.Schema)))
+	for _, s := range a.Schema {
+		w.str(s)
+	}
+	if a.Calib == nil {
+		w.uvarint(0)
+	} else {
+		w.uvarint(uint64(len(a.Calib.EBs)))
+		if a.Calib.Over {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		for i := range a.Calib.EBs {
+			w.f64(a.Calib.EBs[i])
+			w.f64(a.Calib.Rho[i])
+		}
+	}
+	writeForest(w, a.Forest.Flatten())
+	keys := make([]string, 0, len(a.Meta))
+	for k := range a.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(a.Meta[k])
+	}
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf
+}
+
+// TestReadVersion1Compat proves pre-zoo artifacts still load: a
+// hand-encoded v1 stream parses as an rf-backend artifact predicting
+// bit-identically, and upgrades to v2 bytes on re-encode.
+func TestReadVersion1Compat(t *testing.T) {
+	a := testArtifact(t)
+	v1 := encodeV1(t, a)
+	b, err := Read(v1)
+	if err != nil {
+		t.Fatalf("v1 read: %v", err)
+	}
+	if b.BackendTag() != BackendRF {
+		t.Fatalf("v1 backend %q", b.BackendTag())
+	}
+	if b.Codec != a.Codec || !schemaMatches(a.Schema, b.Schema) || len(b.Meta) != len(a.Meta) {
+		t.Fatal("v1 sections lost")
+	}
+	rng := xrand.New(9)
+	for i := 0; i < 100; i++ {
+		row := make([]float64, trainset.InputDim)
+		for j := range row {
+			row[j] = rng.Float64()*4 - 2
+		}
+		p0, err := a.Forest.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := b.Forest.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(p0) != math.Float64bits(p1) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	// Re-encode upgrades to the current version and the result matches
+	// encoding the source artifact directly.
+	if !bytes.Equal(mustEncode(t, b), mustEncode(t, a)) {
+		t.Fatal("v1 upgrade encode differs from direct v2 encode")
+	}
+	// v1 truncations stay classified.
+	for n := 0; n < len(v1); n += 7 {
+		if _, err := Read(v1[:n]); err == nil {
+			t.Fatalf("v1 truncation at %d accepted", n)
+		} else if safedec.Classify(err) == "" {
+			t.Fatalf("v1 truncation at %d unclassified: %v", n, err)
+		}
+	}
+}
+
+// TestBackendTruncationSweep cuts boost and knn streams at every length;
+// each prefix must fail with a classified error, never a panic.
+func TestBackendTruncationSweep(t *testing.T) {
+	for name, a := range map[string]*Artifact{"boost": boostArtifact(t), "knn": knnArtifact(t)} {
+		valid := mustEncode(t, a)
+		for n := 0; n < len(valid); n++ {
+			got, err := Read(valid[:n])
+			if err == nil {
+				t.Fatalf("%s truncation at %d of %d accepted: %+v", name, n, len(valid), got)
+			}
+			if safedec.Classify(err) == "" {
+				t.Fatalf("%s truncation at %d: unclassified error %v", name, n, err)
+			}
+		}
+	}
+}
+
+// TestBackendHostileStreams flips bytes across boost/knn streams and
+// checks classification; also pins knn payload limit enforcement.
+func TestBackendHostileStreams(t *testing.T) {
+	for name, a := range map[string]*Artifact{"boost": boostArtifact(t), "knn": knnArtifact(t)} {
+		valid := mustEncode(t, a)
+		for _, off := range []int{12, 20, len(valid) / 2, len(valid) - 2} {
+			b := append([]byte(nil), valid...)
+			b[off] ^= 0xff
+			got, err := Read(b)
+			if err == nil {
+				// A flip that survives parsing must still CRC-fail; reaching
+				// here means the checksum matched a mutated payload.
+				t.Fatalf("%s flip at %d accepted: %+v", name, off, got)
+			}
+			if safedec.Classify(err) == "" {
+				t.Fatalf("%s flip at %d unclassified: %v", name, off, err)
+			}
+		}
+	}
+	knnBytes := mustEncode(t, knnArtifact(t))
+	if _, err := ReadLimited(knnBytes, safedec.Limits{MaxAlloc: 256}); !errors.Is(err, safedec.ErrLimit) {
+		t.Fatalf("knn alloc budget: %v, want ErrLimit", err)
+	}
+	if _, err := ReadLimited(knnBytes, safedec.Limits{MaxCount: 16}); !errors.Is(err, safedec.ErrLimit) {
+		t.Fatalf("knn count budget: %v, want ErrLimit", err)
+	}
+	boostBytes := mustEncode(t, boostArtifact(t))
+	if _, err := ReadLimited(boostBytes, safedec.Limits{MaxCount: 4}); !errors.Is(err, safedec.ErrLimit) {
+		t.Fatalf("boost stage budget: %v, want ErrLimit", err)
+	}
+}
+
+// TestPredictHelpersAllBackends runs the serving-path helpers over boost
+// and knn artifacts (rf is covered by TestPredictHelpers).
+func TestPredictHelpersAllBackends(t *testing.T) {
+	for name, a := range map[string]*Artifact{"boost": boostArtifact(t), "knn": knnArtifact(t)} {
+		t.Run(name, func(t *testing.T) {
+			if err := a.ServingCheck(); err != nil {
+				t.Fatalf("serving check: %v", err)
+			}
+			f := testField(t)
+			eb, err := a.PredictErrorBound(f, 10, featuresOpts())
+			if err != nil {
+				t.Fatalf("predict: %v", err)
+			}
+			if !(eb > 0 && eb <= 1) {
+				t.Fatalf("bound %g outside (0, 1]", eb)
+			}
+		})
+	}
+}

@@ -18,9 +18,9 @@ func (a *Artifact) ServingCheck() error {
 		return fmt.Errorf("model: artifact schema %v does not match serving schema %v",
 			a.Schema, CanonicalSchema())
 	}
-	if a.Forest.Dims() != trainset.InputDim {
-		return fmt.Errorf("model: forest expects %d inputs, serving builds %d",
-			a.Forest.Dims(), trainset.InputDim)
+	if a.Dims() != trainset.InputDim {
+		return fmt.Errorf("model: %s regressor expects %d inputs, serving builds %d",
+			a.BackendTag(), a.Dims(), trainset.InputDim)
 	}
 	return nil
 }
@@ -56,7 +56,7 @@ func (a *Artifact) PredictErrorBounds(f *field.Field, targetRatios []float64, op
 	for i, r := range targetRatios {
 		rows[i] = trainset.Row(feat, r)
 	}
-	preds, err := a.Forest.PredictBatch(rows)
+	preds, err := a.PredictTargets(rows)
 	if err != nil {
 		return nil, err
 	}

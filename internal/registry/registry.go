@@ -21,7 +21,10 @@
 // publisher per model name writes to it (the carolserve + caroltrain
 // split). Concurrent publishers to the same name are detected — the
 // version file is created exclusively, so the loser errors instead of
-// overwriting — but retry is the caller's job.
+// overwriting — but retry is the caller's job. Within one process, a
+// Registry handle additionally serializes its mutators (Publish, GC) so a
+// retraining loop and a GC sweep sharing the handle cannot interleave
+// their manifest read-modify-write cycles and resurrect deleted versions.
 package registry
 
 import (
@@ -35,6 +38,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"carol/internal/model"
 	"carol/internal/safedec"
@@ -57,6 +61,13 @@ const manifestName = "MANIFEST"
 // Registry is a handle on one registry root directory.
 type Registry struct {
 	root string
+	// mu serializes in-process mutators. Publish and GC each do a manifest
+	// read-modify-write; unserialized, a Publish that read the manifest
+	// before a concurrent GC rewrote it would write back entries for
+	// versions whose files GC just deleted, leaving dangling manifest rows.
+	// The O_EXCL version-file guard cannot catch that — the two mutators
+	// touch different version files.
+	mu sync.Mutex
 }
 
 // Open validates root (creating it if absent) and returns a handle.
@@ -188,6 +199,8 @@ func (r *Registry) Publish(name string, artifact []byte) (Version, error) {
 	if _, err := model.Read(artifact); err != nil {
 		return Version{}, fmt.Errorf("registry: refusing to publish: %w", err)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	dir := r.modelDir(name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Version{}, fmt.Errorf("registry: %w", err)
@@ -329,6 +342,8 @@ func (r *Registry) GC(name string, keep int) ([]int, error) {
 	if keep < 1 {
 		return nil, fmt.Errorf("registry: GC keep %d < 1", keep)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	versions, err := r.readManifest(name)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"carol/internal/model"
@@ -269,5 +270,78 @@ func TestConcurrentPublishCollision(t *testing.T) {
 	}
 	if _, err := r.Publish("m1", testArtifactBytes(t, 2)); err == nil {
 		t.Fatal("publish overwrote a pre-existing version file")
+	}
+}
+
+// TestGCUnderConcurrentPublish hammers one registry handle with parallel
+// publishers and GC sweeps. The in-process mutator mutex must keep every
+// manifest row backed by a live, hash-clean file — without it, a publish
+// that read the manifest before a racing GC rewrote it resurrects rows
+// whose files GC just deleted. Run under -race this also proves the
+// mutators share no unsynchronized state.
+func TestGCUnderConcurrentPublish(t *testing.T) {
+	r := openTemp(t)
+	if _, err := r.Publish("m1", testArtifactBytes(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	const publishers = 2
+	const perPublisher = 8
+	bufs := make([][]byte, publishers)
+	for i := range bufs {
+		bufs[i] = testArtifactBytes(t, uint64(100+i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, publishers+1)
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func(buf []byte) {
+			defer wg.Done()
+			for j := 0; j < perPublisher; j++ {
+				if _, err := r.Publish("m1", buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(bufs[i])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 3*perPublisher; j++ {
+			if _, err := r.GC("m1", 2); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	versions, err := r.Versions("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving manifest row must be backed by a loadable,
+	// hash-verified file, and the newest version must reflect all
+	// publishes despite the GC churn.
+	for _, v := range versions {
+		if _, err := r.Load(v, safedec.Limits{}); err != nil {
+			t.Fatalf("version %d in manifest but not loadable: %v", v.Number, err)
+		}
+	}
+	latest, err := r.Latest("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + publishers*perPublisher; latest.Number != want {
+		t.Fatalf("latest version %d, want %d", latest.Number, want)
+	}
+	if _, err := r.GC("m1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if versions, err = r.Versions("m1"); err != nil || len(versions) != 1 {
+		t.Fatalf("final GC left %d versions (err %v), want 1", len(versions), err)
 	}
 }

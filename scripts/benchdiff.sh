@@ -142,7 +142,7 @@ selftest() {
     # names and workers=all(N) suffixes — then once against all of them
     # diffed in a single multi-baseline run.
     all=""
-    for base in BENCH_RF.json BENCH_MODEL.json BENCH_CODECS.json BENCH_GATE.json BENCH_SELECT.json; do
+    for base in BENCH_RF.json BENCH_MODEL.json BENCH_CODECS.json BENCH_GATE.json BENCH_SELECT.json BENCH_ZOO.json; do
         [ -f "$base" ] || continue
         ( BASELINE=$base; selftest_one )
         all="$all $base"
